@@ -1,0 +1,110 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation (Sec. 8).  The data sizes are scaled down so the full suite runs in
+CI time; the assertions check the *shape* of each result (who wins, and by
+roughly what factor), not absolute runtimes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.reporting import format_series, format_table
+from repro.imp.engine import IMPConfig
+from repro.imp.maintenance import FullMaintainer, IncrementalMaintainer
+from repro.sketch.selection import build_database_partition
+from repro.storage.database import Database
+from repro.workloads.synthetic import load_join_helper, load_synthetic
+
+
+@dataclass
+class MaintenanceScenario:
+    """A query over a loaded database with maintainers for IMP and FM."""
+
+    database: Database
+    table_handle: object
+    sql: str
+    incremental: IncrementalMaintainer
+    full: FullMaintainer
+
+    def apply_update(self, inserts=(), deletes=()):
+        """Commit an update batch to the backend."""
+        if deletes:
+            self.database.delete_rows(self.table_handle.name, deletes)
+        if inserts:
+            self.database.insert(self.table_handle.name, inserts)
+
+
+def build_scenario(
+    sql: str,
+    num_rows: int = 4000,
+    num_groups: int = 200,
+    num_fragments: int = 64,
+    with_join_helper: bool = False,
+    join_selectivity: float = 1.0,
+    helper_rows: int = 1000,
+    config: IMPConfig | None = None,
+    seed: int = 7,
+) -> MaintenanceScenario:
+    """Create a synthetic database, capture sketches with IMP and FM."""
+    database = Database()
+    table = load_synthetic(
+        database, num_rows=num_rows, num_groups=num_groups, seed=seed
+    )
+    if with_join_helper:
+        load_join_helper(
+            database,
+            num_rows=helper_rows,
+            join_selectivity=join_selectivity,
+            join_domain=num_groups,
+            seed=seed + 1,
+        )
+    plan = database.plan(sql)
+    partition = build_database_partition(database, plan, num_fragments)
+    incremental = IncrementalMaintainer(database, plan, partition, config)
+    incremental.capture()
+    full = FullMaintainer(database, plan, partition)
+    full.capture()
+    return MaintenanceScenario(database, table, sql, incremental, full)
+
+
+def measure_maintenance(scenario: MaintenanceScenario, delta_size: int, repeats: int = 3):
+    """Apply ``repeats`` update batches of ``delta_size`` tuples and return the
+    median per-batch maintenance time of IMP and FM."""
+    imp_times = []
+    fm_times = []
+    for _ in range(repeats):
+        deletes = scenario.table_handle.pick_deletes(delta_size // 2)
+        inserts = scenario.table_handle.make_inserts(delta_size - len(deletes))
+        scenario.apply_update(inserts, deletes)
+        started = time.perf_counter()
+        scenario.incremental.maintain()
+        imp_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        scenario.full.maintain()
+        fm_times.append(time.perf_counter() - started)
+    imp_times.sort()
+    fm_times.sort()
+    return imp_times[len(imp_times) // 2], fm_times[len(fm_times) // 2]
+
+
+def print_report(result: ExperimentResult, title: str, x_key: str, y_key: str = "seconds"):
+    """Print a figure-style series table (captured by pytest -s / the report)."""
+    print()
+    print(format_series(result, x_key=x_key, y_key=y_key, title=title))
+
+
+def print_rows(result: ExperimentResult, title: str):
+    print()
+    print(format_table(result, title=title))
+
+
+@pytest.fixture(scope="session")
+def rng() -> random.Random:
+    return random.Random(1234)

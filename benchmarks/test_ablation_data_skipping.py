@@ -1,0 +1,117 @@
+"""Ablation: how much of IMP's end-to-end win comes from each design choice.
+
+DESIGN.md calls out the design choices worth ablating.  Fig. 13 covers the
+engine-internal optimizations (Bloom filters, delta push-down, state buffers);
+this file ablates the two remaining pieces of the end-to-end story:
+
+* **Physical data skipping** -- answering a query through a sketch only helps
+  if the backend can exploit the injected range predicates.  We compare query
+  latency through a selective sketch with and without the ordered index on the
+  sketch attribute (the paper relies on the DBMS's physical design here).
+* **Sketch selectivity** -- the benefit of PBDS grows as the sketch covers a
+  smaller fraction of the data (the paper's motivation: HAVING/top-k queries
+  where only a fraction of the database is relevant).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.sketch.capture import capture_sketch
+from repro.sketch.selection import build_database_partition
+from repro.sketch.use import estimated_selectivity, instrument_plan
+from repro.storage.database import Database
+from repro.workloads.queries import q_endtoend
+from repro.workloads.synthetic import load_synthetic
+
+from benchmarks.conftest import print_rows
+
+NUM_ROWS = 20_000
+NUM_GROUPS = 1_000
+
+
+def _median_query_seconds(database, plan, repeats: int = 3) -> float:
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        database.query(plan)
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_ablation_index_enables_data_skipping(benchmark):
+    """Without the ordered index the use rewrite cannot skip data physically."""
+
+    def run():
+        database = Database()
+        load_synthetic(database, num_rows=NUM_ROWS, num_groups=NUM_GROUPS, seed=3)
+        sql = q_endtoend(low=800, high=900)   # selective HAVING band
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 256)
+        sketch = capture_sketch(plan, partition, database)
+        instrumented = instrument_plan(plan, sketch)
+        no_sketch = _median_query_seconds(database, plan)
+        sketch_no_index = _median_query_seconds(database, instrumented)
+        database.create_index("r", "a")
+        sketch_with_index = _median_query_seconds(database, instrumented)
+        return no_sketch, sketch_no_index, sketch_with_index, estimated_selectivity(sketch, "r")
+
+    no_sketch, without_index, with_index, selectivity = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    result = ExperimentResult("ablation-index")
+    result.add(configuration="no sketch (full scan)", seconds=round(no_sketch, 5))
+    result.add(configuration="sketch, no index", seconds=round(without_index, 5))
+    result.add(configuration="sketch + ordered index", seconds=round(with_index, 5))
+    result.add(configuration="sketch covers fraction", seconds=round(selectivity, 4))
+    print_rows(result, "Ablation: physical data skipping (selective HAVING query)")
+    # The index is what turns the sketch into an actual win.
+    assert with_index < no_sketch
+    assert with_index < without_index
+    # Without an access path the rewrite cannot be much faster than a scan.
+    assert without_index > no_sketch * 0.5
+
+
+@pytest.mark.parametrize("band", [(800, 900), (200, 1800)])
+def test_ablation_sketch_selectivity(benchmark, band):
+    """A narrow HAVING band (selective sketch) benefits more from PBDS."""
+
+    low, high = band
+
+    def run():
+        database = Database()
+        load_synthetic(database, num_rows=NUM_ROWS // 2, num_groups=NUM_GROUPS // 2, seed=5)
+        sql = q_endtoend(low=low, high=high)
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 256)
+        for table_partition in partition:
+            database.create_index(table_partition.table, table_partition.attribute)
+        sketch = capture_sketch(plan, partition, database)
+        instrumented = instrument_plan(plan, sketch)
+        full = _median_query_seconds(database, plan)
+        through_sketch = _median_query_seconds(database, instrumented)
+        return full, through_sketch, estimated_selectivity(sketch, "r")
+
+    full, through_sketch, selectivity = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = ExperimentResult("ablation-selectivity")
+    result.add(band=f"{low}-{high}", covered_fraction=round(selectivity, 3),
+               full_seconds=round(full, 5), sketch_seconds=round(through_sketch, 5),
+               speedup=round(full / max(through_sketch, 1e-9), 2))
+    print_rows(result, "Ablation: sketch selectivity vs query speedup")
+    _SPEEDUPS[band] = full / max(through_sketch, 1e-9)
+
+
+_SPEEDUPS: dict = {}
+
+
+def test_ablation_selective_sketch_wins_more(benchmark):
+    def collect():
+        return dict(_SPEEDUPS)
+
+    speedups = benchmark.pedantic(collect, rounds=1, iterations=1)
+    if (800, 900) in speedups and (200, 1800) in speedups:
+        assert speedups[(800, 900)] > speedups[(200, 1800)]

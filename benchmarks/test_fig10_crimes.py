@@ -1,0 +1,90 @@
+"""Figure 10: incremental versus full maintenance on the Crimes dataset.
+
+The paper uses two queries over the Chicago Crimes table -- CQ1 (crimes per
+beat and year) and CQ2 (areas with more than 1000 crimes) -- with realistic
+delta sizes of 10 to 1000 rows and finds incremental maintenance at least two
+orders of magnitude faster than full maintenance; Fig. 10b repeats the
+experiment with mixed insertions and deletions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.imp.maintenance import FullMaintainer, IncrementalMaintainer
+from repro.sketch.selection import build_database_partition
+from repro.storage.database import Database
+from repro.workloads.crimes import CRIMES_Q1, crimes_q2, load_crimes
+
+from benchmarks.conftest import print_rows
+
+NUM_ROWS = 12_000
+DELTAS = [10, 100, 1000]
+QUERIES = {"cq1": CRIMES_Q1, "cq2": crimes_q2(threshold=30)}
+
+
+def _build(sql: str):
+    database = Database()
+    data = load_crimes(database, num_rows=NUM_ROWS, seed=29)
+    plan = database.plan(sql)
+    partition = build_database_partition(database, plan, 64)
+    incremental = IncrementalMaintainer(database, plan, partition)
+    incremental.capture()
+    full = FullMaintainer(database, plan, partition)
+    full.capture()
+    return database, data, incremental, full
+
+
+@pytest.mark.parametrize("query_name", list(QUERIES))
+@pytest.mark.parametrize("delta_size", DELTAS)
+def test_fig10a_incremental_vs_full(benchmark, query_name, delta_size):
+    database, data, incremental, full = _build(QUERIES[query_name])
+
+    def one_round():
+        database.insert("crimes", data.make_inserts(delta_size))
+        started = time.perf_counter()
+        incremental.maintain()
+        imp_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        full.maintain()
+        fm_seconds = time.perf_counter() - started
+        return imp_seconds, fm_seconds
+
+    imp_seconds, fm_seconds = benchmark.pedantic(one_round, rounds=1, iterations=1)
+    result = ExperimentResult("fig10a")
+    result.add(system="imp", query=query_name, delta=delta_size, seconds=round(imp_seconds, 5))
+    result.add(system="fm", query=query_name, delta=delta_size, seconds=round(fm_seconds, 5))
+    print_rows(result, f"Fig. 10a (scaled): {query_name}, delta={delta_size}")
+    assert imp_seconds < fm_seconds
+    if delta_size <= 100:
+        speedup = fm_seconds / max(imp_seconds, 1e-9)
+        assert speedup > 5, (
+            f"IMP should beat FM by a wide margin for small deltas (got {speedup:.1f}x)"
+        )
+
+
+@pytest.mark.parametrize("query_name", list(QUERIES))
+def test_fig10b_insert_and_delete(benchmark, query_name):
+    database, data, incremental, full = _build(QUERIES[query_name])
+
+    def one_round():
+        deletes = data.pick_deletes(50)
+        database.delete_rows("crimes", deletes)
+        database.insert("crimes", data.make_inserts(50))
+        started = time.perf_counter()
+        incremental.maintain()
+        imp_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        full.maintain()
+        fm_seconds = time.perf_counter() - started
+        return imp_seconds, fm_seconds
+
+    imp_seconds, fm_seconds = benchmark.pedantic(one_round, rounds=1, iterations=1)
+    assert imp_seconds < fm_seconds
+    result = ExperimentResult("fig10b")
+    result.add(system="imp", query=query_name, delta=100, seconds=round(imp_seconds, 5))
+    result.add(system="fm", query=query_name, delta=100, seconds=round(fm_seconds, 5))
+    print_rows(result, f"Fig. 10b (scaled): insert+delete, {query_name}")

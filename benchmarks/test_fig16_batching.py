@@ -1,0 +1,95 @@
+"""Figure 16: eager maintenance cost as a function of the batch size.
+
+The paper applies 1000 updates under the eager strategy, varying how many
+updates are batched before maintenance is triggered, for a single-table
+HAVING query (Q_endtoend) and a join query (Q_joinsel at 5% selectivity).
+Finding: batch sizes below ~50 significantly inflate the total maintenance
+cost; larger batches amortise the per-maintenance overhead.
+
+Scaled down: 120 single-tuple updates, batch sizes 1 / 10 / 60.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.imp.engine import IMPConfig
+from repro.imp.maintenance import IncrementalMaintainer
+from repro.sketch.selection import build_database_partition
+from repro.storage.database import Database
+from repro.workloads.queries import q_endtoend, q_joinsel
+from repro.workloads.synthetic import load_join_helper, load_synthetic
+
+from benchmarks.conftest import print_rows
+
+TOTAL_UPDATES = 120
+BATCH_SIZES = [1, 10, 60]
+QUERIES = {
+    "q_endtoend": (q_endtoend(low=100, high=1500), False),
+    "q_joinsel_5pct": (q_joinsel(filter_threshold=2000, having_threshold=2000), True),
+}
+
+
+def run_batched_maintenance(query_key: str, batch_size: int) -> float:
+    sql, needs_helper = QUERIES[query_key]
+    database = Database()
+    table = load_synthetic(database, num_rows=3000, num_groups=200, seed=51)
+    if needs_helper:
+        load_join_helper(
+            database, num_rows=600, join_selectivity=0.05, join_domain=200, seed=52
+        )
+    plan = database.plan(sql)
+    partition = build_database_partition(database, plan, 48)
+    maintainer = IncrementalMaintainer(database, plan, partition, IMPConfig())
+    maintainer.capture()
+    total_seconds = 0.0
+    pending = 0
+    for _ in range(TOTAL_UPDATES):
+        database.insert("r", table.make_inserts(1))
+        pending += 1
+        if pending >= batch_size:
+            started = time.perf_counter()
+            maintainer.maintain()
+            total_seconds += time.perf_counter() - started
+            pending = 0
+    if pending:
+        started = time.perf_counter()
+        maintainer.maintain()
+        total_seconds += time.perf_counter() - started
+    return total_seconds
+
+
+@pytest.mark.parametrize("query_key", list(QUERIES))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_fig16_eager_batch_size(benchmark, query_key, batch_size):
+    seconds = benchmark.pedantic(
+        run_batched_maintenance, args=(query_key, batch_size), rounds=1, iterations=1
+    )
+    result = ExperimentResult("fig16")
+    result.add(query=query_key, batch=batch_size, seconds=round(seconds, 5))
+    print_rows(result, f"Fig. 16 (scaled): eager maintenance, {query_key}, batch={batch_size}")
+    _TOTALS[(query_key, batch_size)] = seconds
+
+
+_TOTALS: dict = {}
+
+
+def test_fig16_small_batches_cost_more(benchmark):
+    """Shape: maintaining after every single update costs more in total than
+    batching tens of updates (the paper recommends batch sizes >= 50)."""
+
+    def collect():
+        return dict(_TOTALS)
+
+    totals = benchmark.pedantic(collect, rounds=1, iterations=1)
+    for query_key in QUERIES:
+        small = totals.get((query_key, 1))
+        large = totals.get((query_key, 60))
+        if small is None or large is None:
+            continue
+        assert large < small, (
+            f"batching should reduce total maintenance cost for {query_key}"
+        )

@@ -1,0 +1,100 @@
+"""Figure 17: memory usage of aggregation and join maintenance state.
+
+The paper reports the memory consumed while maintaining Q_groups (pure
+group-by aggregation) and Q_joinsel (aggregation over a join): for a fixed
+number of groups the state size is stable and overall consumption grows with
+the delta size being processed (and with the number of groups).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.workloads.queries import q_groups, q_joinsel
+
+from benchmarks.conftest import build_scenario, print_rows
+
+
+@pytest.mark.parametrize("num_groups", [100, 1000])
+def test_fig17a_qgroups_state_memory(benchmark, num_groups):
+    """Aggregation state memory grows with the number of groups and stays
+    stable across maintenance rounds for a fixed group count."""
+
+    def run():
+        scenario = build_scenario(
+            q_groups(threshold=900), num_rows=4000, num_groups=num_groups
+        )
+        before = scenario.incremental.memory_bytes()
+        trace = []
+        for _ in range(3):
+            deletes = scenario.table_handle.pick_deletes(50)
+            inserts = scenario.table_handle.make_inserts(50)
+            scenario.apply_update(inserts, deletes)
+            scenario.incremental.maintain()
+            trace.append(scenario.incremental.memory_bytes())
+        return before, trace
+
+    before, trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = ExperimentResult("fig17a")
+    result.add(groups=num_groups, stage="after-capture", memory_bytes=before)
+    for step, memory in enumerate(trace):
+        result.add(groups=num_groups, stage=f"after-maintenance-{step}", memory_bytes=memory)
+    print_rows(result, f"Fig. 17a (scaled): Q_groups state memory, {num_groups} groups")
+    assert before > 0
+    # Stable: state memory stays within 2x of the post-capture footprint.
+    assert max(trace) < before * 2
+    _MEMORY_BY_GROUPS[num_groups] = before
+
+
+_MEMORY_BY_GROUPS: dict = {}
+
+
+def test_fig17a_memory_grows_with_groups(benchmark):
+    def collect():
+        return dict(_MEMORY_BY_GROUPS)
+
+    memory = benchmark.pedantic(collect, rounds=1, iterations=1)
+    if 100 in memory and 1000 in memory:
+        assert memory[1000] > memory[100]
+
+
+@pytest.mark.parametrize("delta_size", [50, 500])
+def test_fig17b_qjoinsel_memory_grows_with_delta(benchmark, delta_size):
+    """Join maintenance memory (state + delta being processed) grows with the
+    delta size, mirroring Fig. 17b."""
+
+    def run():
+        scenario = build_scenario(
+            q_joinsel(filter_threshold=2000, having_threshold=2000),
+            num_rows=3000,
+            num_groups=200,
+            with_join_helper=True,
+            join_selectivity=0.05,
+            helper_rows=500,
+        )
+        deletes = scenario.table_handle.pick_deletes(delta_size // 2)
+        inserts = scenario.table_handle.make_inserts(delta_size - len(deletes))
+        scenario.apply_update(inserts, deletes)
+        scenario.incremental.maintain()
+        processed = scenario.incremental.statistics.tuples_processed
+        return scenario.incremental.memory_bytes(), processed
+
+    memory, processed = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = ExperimentResult("fig17b")
+    result.add(delta=delta_size, memory_bytes=memory, tuples_processed=processed)
+    print_rows(result, f"Fig. 17b (scaled): Q_joinsel memory, delta={delta_size}")
+    assert memory > 0
+    _PROCESSED_BY_DELTA[delta_size] = processed
+
+
+_PROCESSED_BY_DELTA: dict = {}
+
+
+def test_fig17b_work_grows_with_delta(benchmark):
+    def collect():
+        return dict(_PROCESSED_BY_DELTA)
+
+    processed = benchmark.pedantic(collect, rounds=1, iterations=1)
+    if 50 in processed and 500 in processed:
+        assert processed[500] > processed[50]

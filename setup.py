@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` keeps working on minimal environments that lack the
+``wheel`` package required by PEP 517 editable builds (legacy ``setup.py
+develop`` installs need neither network access nor wheel).
+"""
+
+from setuptools import setup
+
+setup()

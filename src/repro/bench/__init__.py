@@ -1,0 +1,21 @@
+"""Benchmark harness: experiment runners and paper-style reporting."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    compare_systems,
+    fresh_database,
+    median,
+    time_callable,
+)
+from repro.bench.reporting import format_series, format_table, speedup
+
+__all__ = [
+    "ExperimentResult",
+    "compare_systems",
+    "format_series",
+    "format_table",
+    "fresh_database",
+    "median",
+    "speedup",
+    "time_callable",
+]

@@ -1,0 +1,119 @@
+"""Utilities shared by the benchmark suite.
+
+Every ``benchmarks/test_fig*.py`` file regenerates one table or figure of the
+paper: it builds the workload, measures IMP and its baselines, prints the
+series the paper plots (runtime or memory against the swept parameter) and
+asserts the qualitative shape (who wins, and roughly by how much).  The
+helpers here keep those files small and uniform.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.storage.database import Database
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of a sequence (the paper reports median runtimes)."""
+    data = list(values)
+    if not data:
+        raise ValueError("median of an empty sequence")
+    return statistics.median(data)
+
+
+def time_callable(
+    function: Callable[[], object], repeats: int = 3, warmup: int = 0
+) -> float:
+    """Median wall-clock seconds of ``repeats`` executions of ``function``."""
+    for _ in range(warmup):
+        function()
+    samples = []
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - started)
+    return median(samples)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of measurements for one experiment (one per parameter combination)."""
+
+    name: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        """Append one measurement row."""
+        self.rows.append(dict(values))
+
+    def column(self, key: str) -> list[object]:
+        """All values of one column, in insertion order."""
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **criteria: object) -> "ExperimentResult":
+        """Rows matching all ``criteria`` (exact equality)."""
+        matched = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return ExperimentResult(self.name, matched)
+
+    def value(self, column: str, **criteria: object) -> object:
+        """The single value of ``column`` among rows matching ``criteria``."""
+        matched = self.filter(**criteria).rows
+        if len(matched) != 1:
+            raise ValueError(
+                f"expected exactly one row for {criteria}, found {len(matched)}"
+            )
+        return matched[0][column]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def fresh_database(loader: Callable[[Database], object], name: str = "bench") -> Database:
+    """Create a database and populate it with ``loader`` (which may return a
+    dataset handle; it is ignored here)."""
+    database = Database(name)
+    loader(database)
+    return database
+
+
+def compare_systems(
+    results: ExperimentResult,
+    faster: str,
+    slower: str,
+    key: str = "seconds",
+    group_keys: Sequence[str] = (),
+    min_speedup: float = 1.0,
+) -> list[tuple[dict[str, object], float]]:
+    """Check that ``faster`` beats ``slower`` for every parameter combination.
+
+    Returns the list of ``(parameters, speedup)`` pairs and raises
+    ``AssertionError`` when any speedup falls below ``min_speedup``.
+    """
+    comparisons: list[tuple[dict[str, object], float]] = []
+    fast_rows = [row for row in results.rows if row.get("system") == faster]
+    for fast_row in fast_rows:
+        criteria = {k: fast_row[k] for k in group_keys}
+        slow_candidates = [
+            row
+            for row in results.rows
+            if row.get("system") == slower
+            and all(row.get(k) == v for k, v in criteria.items())
+        ]
+        if not slow_candidates:
+            continue
+        slow_row = slow_candidates[0]
+        ratio = float(slow_row[key]) / max(float(fast_row[key]), 1e-12)
+        comparisons.append((criteria, ratio))
+        assert ratio >= min_speedup, (
+            f"{faster} expected to beat {slower} by at least {min_speedup}x for "
+            f"{criteria}, measured {ratio:.2f}x"
+        )
+    return comparisons

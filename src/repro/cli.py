@@ -1,0 +1,256 @@
+"""Command-line interface for quick experiments with the IMP reproduction.
+
+The CLI wraps the most common workflows so they can be run without writing
+Python code::
+
+    python -m repro demo                      # the paper's running example
+    python -m repro compare --rows 5000 ...   # IMP vs FM vs NS on a mixed workload
+    python -m repro maintain --query groups   # per-delta maintenance cost, IMP vs FM
+    python -m repro info                      # library / subsystem overview
+
+Every command prints a small, self-describing report to stdout and returns a
+process exit code of 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro import __version__
+from repro.imp.engine import IMPConfig
+from repro.imp.maintenance import FullMaintainer, IncrementalMaintainer
+from repro.imp.middleware import FullMaintenanceSystem, IMPSystem, NoSketchSystem
+from repro.sketch.selection import build_database_partition
+from repro.storage.database import Database
+from repro.workloads.mixed import MixedWorkload, WorkloadRunner
+from repro.workloads.queries import q_endtoend, q_groups, q_having, q_joinsel, q_topk
+from repro.workloads.synthetic import load_join_helper, load_synthetic
+
+QUERY_CHOICES = {
+    "groups": lambda: q_groups(threshold=900),
+    "having": lambda: q_having(3),
+    "endtoend": lambda: q_endtoend(low=800, high=900),
+    "joinsel": lambda: q_joinsel(filter_threshold=2000, having_threshold=2000),
+    "topk": lambda: q_topk(k=10),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMP: in-memory incremental maintenance of provenance sketches",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("demo", help="run the paper's running example end to end")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare IMP / FM / NS on a synthetic mixed workload"
+    )
+    compare.add_argument("--rows", type=int, default=5_000, help="table size")
+    compare.add_argument("--groups", type=int, default=250, help="number of groups")
+    compare.add_argument("--operations", type=int, default=40, help="workload length")
+    compare.add_argument("--ratio", default="1U3Q", help="update-query ratio, e.g. 1U5Q")
+    compare.add_argument("--delta", type=int, default=20, help="tuples per update batch")
+    compare.add_argument("--fragments", type=int, default=96, help="partition fragments")
+
+    maintain = subparsers.add_parser(
+        "maintain", help="measure per-delta maintenance cost (IMP vs full maintenance)"
+    )
+    maintain.add_argument(
+        "--query", choices=sorted(QUERY_CHOICES), default="groups", help="query template"
+    )
+    maintain.add_argument("--rows", type=int, default=5_000)
+    maintain.add_argument("--groups", type=int, default=250)
+    maintain.add_argument("--delta", type=int, default=100)
+    maintain.add_argument("--batches", type=int, default=5)
+    maintain.add_argument("--fragments", type=int, default=96)
+    maintain.add_argument("--no-bloom", action="store_true", help="disable bloom filters")
+    maintain.add_argument(
+        "--no-pushdown", action="store_true", help="disable delta selection push-down"
+    )
+
+    subparsers.add_parser("info", help="print library and subsystem overview")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def command_demo(_args: argparse.Namespace) -> int:
+    from examples import quickstart  # type: ignore[import-not-found]
+
+    quickstart.main()
+    return 0
+
+
+def _run_demo_inline() -> int:
+    """Fallback demo used when the examples package is not importable."""
+    from repro.sketch.ranges import DatabasePartition, RangePartition
+    from repro.sketch.use import instrument_plan
+
+    db = Database("demo")
+    db.create_table("sales", ["sid", "brand", "product", "price", "numsold"], primary_key="sid")
+    db.insert(
+        "sales",
+        [
+            (1, "Lenovo", "T14s", 349, 1),
+            (2, "Lenovo", "T14s", 449, 2),
+            (3, "Apple", "Air", 1199, 1),
+            (4, "Apple", "Pro", 3875, 1),
+            (5, "Dell", "XPS", 1345, 1),
+            (6, "HP", "450", 999, 4),
+            (7, "HP", "550", 899, 1),
+        ],
+    )
+    sql = (
+        "SELECT brand, SUM(price * numsold) AS rev FROM sales "
+        "GROUP BY brand HAVING SUM(price * numsold) > 5000"
+    )
+    partition = DatabasePartition([RangePartition("sales", "price", [1, 601, 1001, 1501, 10000])])
+    plan = db.plan(sql)
+    maintainer = IncrementalMaintainer(db, plan, partition)
+    sketch = maintainer.capture().sketch
+    print("initial result:", sorted(db.query(sql).rows()))
+    print("sketch fragments:", sorted(sketch.fragment_ids()))
+    db.insert("sales", [(8, "HP", "650", 1299, 1)])
+    result = maintainer.maintain()
+    print("after insert   :", sorted(db.query(instrument_plan(plan, result.sketch)).rows()))
+    print("sketch fragments:", sorted(result.sketch.fragment_ids()))
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    source = Database("source")
+    table = load_synthetic(source, num_rows=args.rows, num_groups=args.groups, seed=11)
+    workload = MixedWorkload(
+        table,
+        query_factory=lambda rng: q_endtoend(low=800, high=900),
+        ratio=args.ratio,
+        delta_size=args.delta,
+        num_operations=args.operations,
+        seed=3,
+    )
+    operations = list(workload.operations())
+
+    print(
+        f"workload: {len(operations)} operations, ratio {args.ratio}, "
+        f"delta {args.delta}, table {args.rows} rows / {args.groups} groups\n"
+    )
+    print(f"{'system':<18} {'total (s)':>10} {'queries (s)':>12} {'updates (s)':>12}")
+    rows = []
+    for kind in ("no-sketch", "full-maintenance", "imp"):
+        database = Database(kind)
+        load_synthetic(database, num_rows=args.rows, num_groups=args.groups, seed=11)
+        if kind == "no-sketch":
+            system = NoSketchSystem(database)
+        elif kind == "full-maintenance":
+            system = FullMaintenanceSystem(database, num_fragments=args.fragments)
+        else:
+            system = IMPSystem(database, num_fragments=args.fragments)
+        report = WorkloadRunner(system).run_operations(operations)
+        rows.append((kind, report))
+        print(
+            f"{kind:<18} {report.total_seconds:>10.3f} {report.query_seconds:>12.3f} "
+            f"{report.update_seconds:>12.3f}"
+        )
+    fastest = min(rows, key=lambda item: item[1].total_seconds)[0]
+    print(f"\nfastest system: {fastest}")
+    return 0
+
+
+def command_maintain(args: argparse.Namespace) -> int:
+    database = Database("maintain")
+    table = load_synthetic(database, num_rows=args.rows, num_groups=args.groups, seed=19)
+    sql = QUERY_CHOICES[args.query]()
+    if args.query == "joinsel":
+        load_join_helper(
+            database, num_rows=max(200, args.rows // 5), join_domain=args.groups, seed=20
+        )
+    plan = database.plan(sql)
+    partition = build_database_partition(database, plan, args.fragments)
+    config = IMPConfig(
+        use_bloom_filters=not args.no_bloom,
+        selection_pushdown=not args.no_pushdown,
+    )
+    incremental = IncrementalMaintainer(database, plan, partition, config)
+    capture = incremental.capture()
+    full = FullMaintainer(database, plan, partition)
+    full.capture()
+    print(f"query: {sql}")
+    print(f"capture: {capture.seconds * 1000:.2f} ms, sketch fragments: {len(capture.sketch)}\n")
+    print(f"{'batch':<6} {'delta':>6} {'IMP (ms)':>10} {'FM (ms)':>10} {'speedup':>8}")
+    for batch in range(1, args.batches + 1):
+        deletes = table.pick_deletes(args.delta // 2)
+        if deletes:
+            database.delete_rows("r", deletes)
+        database.insert("r", table.make_inserts(args.delta - len(deletes)))
+        started = time.perf_counter()
+        incremental.maintain()
+        imp_ms = (time.perf_counter() - started) * 1000
+        started = time.perf_counter()
+        full.maintain()
+        fm_ms = (time.perf_counter() - started) * 1000
+        print(
+            f"{batch:<6} {args.delta:>6} {imp_ms:>10.2f} {fm_ms:>10.2f} "
+            f"{fm_ms / max(imp_ms, 1e-6):>7.1f}x"
+        )
+    stats = incremental.statistics
+    print(
+        f"\nIMP statistics: {stats.delta_tuples_fetched} delta tuples fetched, "
+        f"{stats.delta_tuples_filtered} filtered by push-down, "
+        f"{stats.bloom_filtered_tuples} pruned by bloom filters, "
+        f"{stats.backend_round_trips} backend round trips"
+    )
+    return 0
+
+
+def command_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — In-memory Incremental Maintenance of Provenance Sketches")
+    print("subsystems:")
+    subsystems = [
+        ("repro.core", "bit sets, bloom filters, red-black trees, timing"),
+        ("repro.relational", "bag-semantics relational algebra and evaluation"),
+        ("repro.sql", "SQL parser and translation to algebra"),
+        ("repro.storage", "versioned in-memory backend database with indexes"),
+        ("repro.sketch", "provenance sketches: capture, use, safety, adaptivity"),
+        ("repro.imp", "incremental maintenance engine, strategies, middleware"),
+        ("repro.workloads", "synthetic / TPC-H / Crimes data and query templates"),
+        ("repro.bench", "benchmark harness and reporting"),
+    ]
+    for name, description in subsystems:
+        print(f"  {name:<18} {description}")
+    print("\nsee README.md, DESIGN.md and EXPERIMENTS.md for details")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "demo":
+        try:
+            return command_demo(args)
+        except ImportError:
+            return _run_demo_inline()
+    if args.command == "compare":
+        return command_compare(args)
+    if args.command == "maintain":
+        return command_maintain(args)
+    if args.command == "info":
+        return command_info(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

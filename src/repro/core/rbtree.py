@@ -1,0 +1,537 @@
+"""Red-black tree backed sorted multiset.
+
+The IMP engine keeps the state of ``min``/``max`` aggregation functions and of
+the top-k operator in balanced search trees (paper Sec. 5.2.6, 5.2.7 and 7.1,
+which names red-black trees explicitly).  Each node stores a key together with
+its multiplicity, mirroring the ``CNT`` structure of the paper: inserting a
+duplicate key increments the multiplicity, deleting decrements it and removes
+the node once the multiplicity reaches zero.
+
+Two classes are exported:
+
+* :class:`RedBlackTree` -- a map from keys to values with ordered iteration,
+  ``min_key``/``max_key`` access and standard O(log n) insert/delete/lookup.
+* :class:`SortedMultiSet` -- a thin wrapper that stores multiplicities as the
+  values and exposes multiset semantics (the structure the paper calls ``CNT``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any, Generic, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_RED = True
+_BLACK = False
+
+
+class _Node(Generic[K, V]):
+    __slots__ = ("key", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key: K, value: V, parent: "_Node[K, V] | None") -> None:
+        self.key = key
+        self.value = value
+        self.left: _Node[K, V] | None = None
+        self.right: _Node[K, V] | None = None
+        self.parent = parent
+        self.color = _RED
+
+
+class RedBlackTree(Generic[K, V]):
+    """An ordered map implemented as a classic red-black tree.
+
+    Keys must be mutually comparable; an optional ``key`` function can be
+    supplied to derive the sort key from stored keys (used by the top-k
+    operator to order composite tuples on their ORDER BY attributes).
+    """
+
+    def __init__(self, sort_key: Callable[[K], Any] | None = None) -> None:
+        self._root: _Node[K, V] | None = None
+        self._size = 0
+        self._sort_key = sort_key
+
+    # -- ordering helper -------------------------------------------------------
+
+    def _less(self, a: K, b: K) -> bool:
+        if self._sort_key is not None:
+            return self._sort_key(a) < self._sort_key(b)
+        return a < b  # type: ignore[operator]
+
+    # -- basic queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: K) -> bool:
+        return self._find(key) is not None
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the value stored for ``key`` or ``default``."""
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def __getitem__(self, key: K) -> V:
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    def min_key(self) -> K:
+        """Return the smallest key in the tree."""
+        node = self._min_node(self._root)
+        if node is None:
+            raise KeyError("min_key() on empty tree")
+        return node.key
+
+    def max_key(self) -> K:
+        """Return the largest key in the tree."""
+        node = self._max_node(self._root)
+        if node is None:
+            raise KeyError("max_key() on empty tree")
+        return node.key
+
+    def items(self) -> Iterator[tuple[K, V]]:
+        """Iterate over ``(key, value)`` pairs in ascending key order."""
+        yield from self._inorder(self._root)
+
+    def keys(self) -> Iterator[K]:
+        """Iterate over keys in ascending order."""
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> Iterator[V]:
+        """Iterate over values in ascending key order."""
+        for _key, value in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[K]:
+        return self.keys()
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert ``key`` with ``value``, replacing the value if key exists."""
+        if self._root is None:
+            self._root = _Node(key, value, None)
+            self._root.color = _BLACK
+            self._size = 1
+            return
+        node = self._root
+        while True:
+            if self._less(key, node.key):
+                if node.left is None:
+                    child = _Node(key, value, node)
+                    node.left = child
+                    break
+                node = node.left
+            elif self._less(node.key, key):
+                if node.right is None:
+                    child = _Node(key, value, node)
+                    node.right = child
+                    break
+                node = node.right
+            else:
+                node.value = value
+                return
+        self._size += 1
+        self._fix_insert(child)
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self.insert(key, value)
+
+    def delete(self, key: K) -> bool:
+        """Remove ``key`` from the tree; return True when the key existed."""
+        node = self._find(key)
+        if node is None:
+            return False
+        self._delete_node(node)
+        self._size -= 1
+        return True
+
+    def __delitem__(self, key: K) -> None:
+        if not self.delete(key):
+            raise KeyError(key)
+
+    def clear(self) -> None:
+        """Remove all entries."""
+        self._root = None
+        self._size = 0
+
+    # -- internal search -------------------------------------------------------
+
+    def _find(self, key: K) -> _Node[K, V] | None:
+        node = self._root
+        while node is not None:
+            if self._less(key, node.key):
+                node = node.left
+            elif self._less(node.key, key):
+                node = node.right
+            else:
+                return node
+        return None
+
+    @staticmethod
+    def _min_node(node: _Node[K, V] | None) -> _Node[K, V] | None:
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node
+
+    @staticmethod
+    def _max_node(node: _Node[K, V] | None) -> _Node[K, V] | None:
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return node
+
+    def _inorder(self, node: _Node[K, V] | None) -> Iterator[tuple[K, V]]:
+        # Iterative in-order traversal to avoid recursion depth limits on
+        # degenerate workloads (the tree is balanced but stacks are cheap).
+        stack: list[_Node[K, V]] = []
+        current = node
+        while stack or current is not None:
+            while current is not None:
+                stack.append(current)
+                current = current.left
+            current = stack.pop()
+            yield current.key, current.value
+            current = current.right
+
+    # -- rotations and rebalancing ----------------------------------------------
+
+    def _rotate_left(self, node: _Node[K, V]) -> None:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        if pivot.left is not None:
+            pivot.left.parent = node
+        pivot.parent = node.parent
+        if node.parent is None:
+            self._root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+        else:
+            node.parent.right = pivot
+        pivot.left = node
+        node.parent = pivot
+
+    def _rotate_right(self, node: _Node[K, V]) -> None:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        if pivot.right is not None:
+            pivot.right.parent = node
+        pivot.parent = node.parent
+        if node.parent is None:
+            self._root = pivot
+        elif node is node.parent.right:
+            node.parent.right = pivot
+        else:
+            node.parent.left = pivot
+        pivot.right = node
+        node.parent = pivot
+
+    def _fix_insert(self, node: _Node[K, V]) -> None:
+        while node.parent is not None and node.parent.color == _RED:
+            parent = node.parent
+            grandparent = parent.parent
+            assert grandparent is not None
+            if parent is grandparent.left:
+                uncle = grandparent.right
+                if uncle is not None and uncle.color == _RED:
+                    parent.color = _BLACK
+                    uncle.color = _BLACK
+                    grandparent.color = _RED
+                    node = grandparent
+                else:
+                    if node is parent.right:
+                        node = parent
+                        self._rotate_left(node)
+                        parent = node.parent
+                        assert parent is not None
+                    parent.color = _BLACK
+                    grandparent.color = _RED
+                    self._rotate_right(grandparent)
+            else:
+                uncle = grandparent.left
+                if uncle is not None and uncle.color == _RED:
+                    parent.color = _BLACK
+                    uncle.color = _BLACK
+                    grandparent.color = _RED
+                    node = grandparent
+                else:
+                    if node is parent.left:
+                        node = parent
+                        self._rotate_right(node)
+                        parent = node.parent
+                        assert parent is not None
+                    parent.color = _BLACK
+                    grandparent.color = _RED
+                    self._rotate_left(grandparent)
+        assert self._root is not None
+        self._root.color = _BLACK
+
+    def _transplant(self, old: _Node[K, V], new: _Node[K, V] | None) -> None:
+        if old.parent is None:
+            self._root = new
+        elif old is old.parent.left:
+            old.parent.left = new
+        else:
+            old.parent.right = new
+        if new is not None:
+            new.parent = old.parent
+
+    def _delete_node(self, node: _Node[K, V]) -> None:
+        removed_color = node.color
+        if node.left is None:
+            replacement = node.right
+            replacement_parent = node.parent
+            self._transplant(node, node.right)
+        elif node.right is None:
+            replacement = node.left
+            replacement_parent = node.parent
+            self._transplant(node, node.left)
+        else:
+            successor = self._min_node(node.right)
+            assert successor is not None
+            removed_color = successor.color
+            replacement = successor.right
+            if successor.parent is node:
+                replacement_parent = successor
+            else:
+                replacement_parent = successor.parent
+                self._transplant(successor, successor.right)
+                successor.right = node.right
+                successor.right.parent = successor
+            self._transplant(node, successor)
+            successor.left = node.left
+            successor.left.parent = successor
+            successor.color = node.color
+        if removed_color == _BLACK:
+            self._fix_delete(replacement, replacement_parent)
+
+    def _fix_delete(
+        self, node: _Node[K, V] | None, parent: _Node[K, V] | None
+    ) -> None:
+        while node is not self._root and (node is None or node.color == _BLACK):
+            if parent is None:
+                break
+            if node is parent.left:
+                sibling = parent.right
+                if sibling is not None and sibling.color == _RED:
+                    sibling.color = _BLACK
+                    parent.color = _RED
+                    self._rotate_left(parent)
+                    sibling = parent.right
+                if sibling is None:
+                    node = parent
+                    parent = node.parent
+                    continue
+                left_black = sibling.left is None or sibling.left.color == _BLACK
+                right_black = sibling.right is None or sibling.right.color == _BLACK
+                if left_black and right_black:
+                    sibling.color = _RED
+                    node = parent
+                    parent = node.parent
+                else:
+                    if right_black:
+                        if sibling.left is not None:
+                            sibling.left.color = _BLACK
+                        sibling.color = _RED
+                        self._rotate_right(sibling)
+                        sibling = parent.right
+                    assert sibling is not None
+                    sibling.color = parent.color
+                    parent.color = _BLACK
+                    if sibling.right is not None:
+                        sibling.right.color = _BLACK
+                    self._rotate_left(parent)
+                    node = self._root
+                    parent = None
+            else:
+                sibling = parent.left
+                if sibling is not None and sibling.color == _RED:
+                    sibling.color = _BLACK
+                    parent.color = _RED
+                    self._rotate_right(parent)
+                    sibling = parent.left
+                if sibling is None:
+                    node = parent
+                    parent = node.parent
+                    continue
+                left_black = sibling.left is None or sibling.left.color == _BLACK
+                right_black = sibling.right is None or sibling.right.color == _BLACK
+                if left_black and right_black:
+                    sibling.color = _RED
+                    node = parent
+                    parent = node.parent
+                else:
+                    if left_black:
+                        if sibling.right is not None:
+                            sibling.right.color = _BLACK
+                        sibling.color = _RED
+                        self._rotate_left(sibling)
+                        sibling = parent.left
+                    assert sibling is not None
+                    sibling.color = parent.color
+                    parent.color = _BLACK
+                    if sibling.left is not None:
+                        sibling.left.color = _BLACK
+                    self._rotate_right(parent)
+                    node = self._root
+                    parent = None
+        if node is not None:
+            node.color = _BLACK
+
+    # -- validation (used by the property-based tests) ---------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` when red-black invariants are violated."""
+
+        def walk(node: _Node[K, V] | None) -> int:
+            if node is None:
+                return 1
+            if node.color == _RED:
+                left_red = node.left is not None and node.left.color == _RED
+                right_red = node.right is not None and node.right.color == _RED
+                assert not left_red and not right_red, "red node with red child"
+            if node.left is not None:
+                assert self._less(node.left.key, node.key), "left child >= parent"
+                assert node.left.parent is node, "broken parent pointer"
+            if node.right is not None:
+                assert self._less(node.key, node.right.key), "right child <= parent"
+                assert node.right.parent is node, "broken parent pointer"
+            left_height = walk(node.left)
+            right_height = walk(node.right)
+            assert left_height == right_height, "unequal black heights"
+            return left_height + (1 if node.color == _BLACK else 0)
+
+        if self._root is not None:
+            assert self._root.color == _BLACK, "root must be black"
+        walk(self._root)
+
+
+class SortedMultiSet(Generic[K]):
+    """A multiset of keys kept in sorted order (the paper's ``CNT`` structure).
+
+    Each distinct key has an integer multiplicity.  ``add``/``remove`` adjust
+    the multiplicity; keys whose multiplicity reaches zero are dropped from the
+    underlying tree which keeps ``min()``/``max()`` correct under deletions.
+    """
+
+    def __init__(self, sort_key: Callable[[K], Any] | None = None) -> None:
+        self._tree: RedBlackTree[K, int] = RedBlackTree(sort_key=sort_key)
+        self._total = 0
+
+    # -- mutation --------------------------------------------------------------
+
+    def add(self, key: K, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key`` (count may not be negative)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        current = self._tree.get(key, 0) or 0
+        self._tree.insert(key, current + count)
+        self._total += count
+
+    def remove(self, key: K, count: int = 1) -> int:
+        """Remove up to ``count`` occurrences of ``key``.
+
+        Returns the number of occurrences actually removed, which may be less
+        than ``count`` when the key's multiplicity was smaller.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        current = self._tree.get(key, 0) or 0
+        if current == 0 or count == 0:
+            return 0
+        removed = min(current, count)
+        remaining = current - removed
+        if remaining == 0:
+            self._tree.delete(key)
+        else:
+            self._tree.insert(key, remaining)
+        self._total -= removed
+        return removed
+
+    def discard_all(self, key: K) -> int:
+        """Remove every occurrence of ``key``; return how many were removed."""
+        current = self._tree.get(key, 0) or 0
+        if current:
+            self._tree.delete(key)
+            self._total -= current
+        return current
+
+    def clear(self) -> None:
+        """Remove all keys."""
+        self._tree.clear()
+        self._total = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def count(self, key: K) -> int:
+        """Multiplicity of ``key`` (zero when absent)."""
+        return self._tree.get(key, 0) or 0
+
+    def __contains__(self, key: K) -> bool:
+        return self.count(key) > 0
+
+    def __len__(self) -> int:
+        """Total number of occurrences across all keys."""
+        return self._total
+
+    def __bool__(self) -> bool:
+        return self._total > 0
+
+    def distinct_count(self) -> int:
+        """Number of distinct keys."""
+        return len(self._tree)
+
+    def min(self) -> K:
+        """Smallest key present."""
+        return self._tree.min_key()
+
+    def max(self) -> K:
+        """Largest key present."""
+        return self._tree.max_key()
+
+    def items(self) -> Iterator[tuple[K, int]]:
+        """Iterate over ``(key, multiplicity)`` in ascending key order."""
+        return self._tree.items()
+
+    def keys(self) -> Iterator[K]:
+        """Iterate over distinct keys in ascending order."""
+        return self._tree.keys()
+
+    def first_n(self, n: int) -> list[tuple[K, int]]:
+        """Return the smallest keys until ``n`` total occurrences are covered.
+
+        This is the access pattern the top-k operator uses (Sec. 5.2.7): walk
+        keys in order, accumulate multiplicities, and truncate the final key's
+        multiplicity so exactly ``n`` occurrences are returned.
+        """
+        result: list[tuple[K, int]] = []
+        remaining = n
+        if remaining <= 0:
+            return result
+        for key, multiplicity in self._tree.items():
+            take = min(multiplicity, remaining)
+            result.append((key, take))
+            remaining -= take
+            if remaining == 0:
+                break
+        return result
+
+    def check_invariants(self) -> None:
+        """Validate the underlying tree and the cached total."""
+        self._tree.check_invariants()
+        assert self._total == sum(self._tree.values()), "cached total out of sync"
+        assert all(count > 0 for count in self._tree.values()), "zero multiplicity kept"

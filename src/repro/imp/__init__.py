@@ -1,0 +1,50 @@
+"""IMP: the in-memory incremental maintenance engine for provenance sketches.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.imp.annotated` -- sketch-annotated delta relations and their
+  columnar chunk storage (Sec. 4.3, 7.1),
+* :mod:`repro.imp.state` -- operator state (group accumulators, min/max trees,
+  top-k trees, merge counts) with persistence support (Sec. 5.2, 7.1),
+* :mod:`repro.imp.operators` -- the incremental relational algebra operators
+  over annotated deltas (Sec. 5.2),
+* :mod:`repro.imp.engine` -- compiling logical plans into incremental operator
+  trees, state initialisation, and maintenance (Sec. 7),
+* :mod:`repro.imp.maintenance` -- the maintainer objects (incremental and the
+  full-maintenance baseline) used by the experiments (Sec. 8),
+* :mod:`repro.imp.strategies` -- eager (batched) and lazy maintenance
+  strategies (Sec. 2, 8.5),
+* :mod:`repro.imp.sketch_store` -- the template-keyed sketch store (Sec. 7.1),
+* :mod:`repro.imp.middleware` -- the IMP middleware plus the non-sketch and
+  full-maintenance baseline systems used in the mixed-workload experiments.
+"""
+
+from repro.imp.annotated import AnnotatedDelta, AnnotatedDeltaTuple
+from repro.imp.engine import EngineStatistics, IMPConfig, IncrementalEngine
+from repro.imp.maintenance import FullMaintainer, IncrementalMaintainer, MaintenanceResult
+from repro.imp.middleware import IMPSystem, NoSketchSystem, FullMaintenanceSystem
+from repro.imp.persistence import StatePersistence, dump_engine_state, load_engine_state
+from repro.imp.sketch_store import SketchEntry, SketchStore
+from repro.imp.strategies import EagerStrategy, LazyStrategy, MaintenanceStrategy
+
+__all__ = [
+    "AnnotatedDelta",
+    "AnnotatedDeltaTuple",
+    "EagerStrategy",
+    "EngineStatistics",
+    "FullMaintainer",
+    "FullMaintenanceSystem",
+    "IMPConfig",
+    "IMPSystem",
+    "IncrementalEngine",
+    "IncrementalMaintainer",
+    "LazyStrategy",
+    "MaintenanceResult",
+    "MaintenanceStrategy",
+    "NoSketchSystem",
+    "SketchEntry",
+    "SketchStore",
+    "StatePersistence",
+    "dump_engine_state",
+    "load_engine_state",
+]

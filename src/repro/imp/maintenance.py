@@ -1,0 +1,179 @@
+"""Maintainers: incremental (IMP) and full maintenance (the FM baseline).
+
+A maintainer owns the sketch of a single query: it captures the sketch, keeps
+track of the database version the sketch is valid for, and brings the sketch up
+to date when the database has moved on.  The incremental maintainer feeds
+deltas through an :class:`~repro.imp.engine.IncrementalEngine`; the full
+maintainer simply re-runs the capture query, which is the baseline IMP is
+compared against throughout Sec. 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.imp.engine import IMPConfig, IncrementalEngine
+from repro.imp.operators import EngineStatistics
+from repro.relational.algebra import PlanNode
+from repro.sketch.capture import capture_sketch
+from repro.sketch.ranges import DatabasePartition
+from repro.sketch.sketch import ProvenanceSketch, SketchDelta
+from repro.storage.database import Database
+
+
+@dataclass
+class MaintenanceResult:
+    """Outcome of bringing a sketch up to date."""
+
+    sketch: ProvenanceSketch
+    sketch_delta: SketchDelta = field(default_factory=SketchDelta.empty)
+    delta_tuples: int = 0
+    recaptured: bool = False
+    seconds: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        """Whether the maintained sketch differs from the previous version."""
+        return bool(self.sketch_delta) or self.recaptured
+
+
+class BaseMaintainer:
+    """Shared bookkeeping of incremental and full maintainers."""
+
+    def __init__(
+        self, database: Database, plan: PlanNode, partition: DatabasePartition
+    ) -> None:
+        self.database = database
+        self.plan = plan
+        self.partition = partition
+        self.sketch: ProvenanceSketch | None = None
+        self.valid_at_version: int | None = None
+        self.sketch_versions: list[tuple[int, ProvenanceSketch]] = []
+
+    @property
+    def is_captured(self) -> bool:
+        """Whether an initial sketch exists."""
+        return self.sketch is not None
+
+    def is_stale(self) -> bool:
+        """Whether the database has been updated since the sketch was maintained."""
+        if self.sketch is None or self.valid_at_version is None:
+            return True
+        if self.database.version == self.valid_at_version:
+            return False
+        changed = self.database.tables_changed_since(self.valid_at_version)
+        return bool(changed & self.plan.referenced_tables())
+
+    def _record_version(self, sketch: ProvenanceSketch) -> None:
+        # Sketches are immutable: IMP retains past versions to avoid write
+        # conflicts between concurrent transactions (Sec. 2).
+        self.sketch = sketch
+        self.valid_at_version = self.database.version
+        self.sketch_versions.append((self.database.version, sketch))
+
+    def capture(self) -> MaintenanceResult:
+        """Create the initial sketch."""
+        raise NotImplementedError
+
+    def maintain(self) -> MaintenanceResult:
+        """Bring the sketch up to date with the current database version."""
+        raise NotImplementedError
+
+    def ensure_current(self) -> MaintenanceResult:
+        """Capture or maintain as needed and return the current sketch."""
+        if not self.is_captured:
+            return self.capture()
+        if self.is_stale():
+            return self.maintain()
+        assert self.sketch is not None
+        return MaintenanceResult(sketch=self.sketch)
+
+    def memory_bytes(self) -> int:
+        """Memory used to keep the sketch maintainable (0 for full maintenance)."""
+        return 0
+
+
+class IncrementalMaintainer(BaseMaintainer):
+    """Maintains a sketch with the IMP incremental engine."""
+
+    def __init__(
+        self,
+        database: Database,
+        plan: PlanNode,
+        partition: DatabasePartition,
+        config: IMPConfig | None = None,
+    ) -> None:
+        super().__init__(database, plan, partition)
+        self.config = config or IMPConfig()
+        self.engine = IncrementalEngine(plan, partition, database, self.config)
+
+    @property
+    def statistics(self) -> EngineStatistics:
+        """Counters collected by the engine across maintenance runs."""
+        return self.engine.statistics
+
+    def capture(self) -> MaintenanceResult:
+        started = time.perf_counter()
+        sketch = self.engine.initialize()
+        self._record_version(sketch)
+        return MaintenanceResult(
+            sketch=sketch, recaptured=True, seconds=time.perf_counter() - started
+        )
+
+    def maintain(self) -> MaintenanceResult:
+        if not self.is_captured:
+            return self.capture()
+        assert self.sketch is not None and self.valid_at_version is not None
+        started = time.perf_counter()
+        tables = self.plan.referenced_tables()
+        db_delta = self.database.database_delta_since(tables, self.valid_at_version)
+        delta_tuples = len(db_delta)
+        if not db_delta:
+            self.valid_at_version = self.database.version
+            return MaintenanceResult(
+                sketch=self.sketch, seconds=time.perf_counter() - started
+            )
+        outcome = self.engine.maintain(db_delta)
+        if outcome.needs_recapture:
+            # Deletions exhausted a min/max or top-k buffer: fall back to a
+            # full recapture (Sec. 7.2).
+            self.engine.reset()
+            sketch = self.engine.initialize()
+            self._record_version(sketch)
+            return MaintenanceResult(
+                sketch=sketch,
+                delta_tuples=delta_tuples,
+                recaptured=True,
+                seconds=time.perf_counter() - started,
+            )
+        sketch = self.sketch.apply_delta(outcome.sketch_delta)
+        self._record_version(sketch)
+        return MaintenanceResult(
+            sketch=sketch,
+            sketch_delta=outcome.sketch_delta,
+            delta_tuples=delta_tuples,
+            seconds=time.perf_counter() - started,
+        )
+
+    def memory_bytes(self) -> int:
+        return self.engine.memory_bytes()
+
+
+class FullMaintainer(BaseMaintainer):
+    """The full-maintenance baseline: re-run the capture query when stale."""
+
+    def capture(self) -> MaintenanceResult:
+        started = time.perf_counter()
+        sketch = capture_sketch(self.plan, self.partition, self.database)
+        self._record_version(sketch)
+        return MaintenanceResult(
+            sketch=sketch, recaptured=True, seconds=time.perf_counter() - started
+        )
+
+    def maintain(self) -> MaintenanceResult:
+        previous = self.sketch
+        result = self.capture()
+        if previous is not None:
+            result.sketch_delta = previous.delta_to(result.sketch)
+        return result

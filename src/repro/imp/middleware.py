@@ -1,0 +1,306 @@
+"""The IMP middleware and the baseline systems.
+
+:class:`IMPSystem` realises the architecture of Fig. 2: it sits between the
+application and the backend database, parses incoming SQL, decides whether a
+query can be answered from an existing sketch (maintaining it first when
+stale), captures new sketches when needed, rewrites queries to skip data using
+sketches, and routes updates to the database while triggering eager or lazy
+maintenance.
+
+Two baselines mirror the paper's experiments:
+
+* :class:`NoSketchSystem` (NS) runs every query directly against the backend.
+* :class:`FullMaintenanceSystem` (FM) uses sketches but recaptures them from
+  scratch whenever they become stale.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.errors import IMPError, PlanError, SketchError
+from repro.imp.engine import IMPConfig
+from repro.imp.maintenance import BaseMaintainer, FullMaintainer, IncrementalMaintainer
+from repro.imp.sketch_store import SketchEntry, SketchStore
+from repro.imp.strategies import LazyStrategy, MaintenanceStrategy
+from repro.relational.algebra import PlanNode
+from repro.relational.schema import Relation, Row
+from repro.sketch.selection import build_database_partition
+from repro.sketch.use import instrument_plan
+from repro.sql.template import QueryTemplate, template_of
+from repro.storage.database import Database
+from repro.storage.delta import Delta
+
+
+@dataclass
+class SystemStatistics:
+    """End-to-end counters of a query/update processing system."""
+
+    queries: int = 0
+    updates: int = 0
+    update_tuples: int = 0
+    sketch_hits: int = 0
+    sketch_captures: int = 0
+    sketch_maintenances: int = 0
+    fallback_queries: int = 0
+    query_seconds: float = 0.0
+    update_seconds: float = 0.0
+    maintenance_seconds: float = 0.0
+    capture_seconds: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def total_seconds(self) -> float:
+        """Total time spent across queries, updates and maintenance."""
+        return (
+            self.query_seconds
+            + self.update_seconds
+            + self.maintenance_seconds
+            + self.capture_seconds
+        )
+
+
+class WorkloadSystem:
+    """Common interface of the three systems compared in the experiments."""
+
+    name = "abstract"
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.statistics = SystemStatistics()
+
+    # -- workload API -----------------------------------------------------------------
+
+    def run_query(self, sql: str) -> Relation:
+        """Answer a SQL query."""
+        raise NotImplementedError
+
+    def apply_update(
+        self,
+        table: str,
+        inserts: Iterable[Row] = (),
+        deletes: Iterable[Row] = (),
+    ) -> int:
+        """Apply an update (insert and/or delete batches) to the database."""
+        started = time.perf_counter()
+        stored = self.database.table(table)
+        delta = Delta(stored.schema)
+        for row in inserts:
+            delta.add_insert(tuple(row))
+        for row in deletes:
+            delta.add_delete(tuple(row))
+        version = self.database.version
+        if delta:
+            from repro.storage.delta import DatabaseDelta
+
+            database_delta = DatabaseDelta()
+            database_delta.set_delta(stored.name, delta)
+            version = self.database.apply_database_delta(database_delta)
+        self.statistics.updates += 1
+        self.statistics.update_tuples += len(delta)
+        self.statistics.update_seconds += time.perf_counter() - started
+        self._after_update(stored.name, len(delta))
+        return version
+
+    def _after_update(self, table: str, delta_tuples: int) -> None:
+        """Hook for sketch-based systems (eager maintenance)."""
+        return None
+
+    def summary(self) -> dict[str, object]:
+        """Aggregate report used by the benchmark harness."""
+        return {
+            "system": self.name,
+            "queries": self.statistics.queries,
+            "updates": self.statistics.updates,
+            "total_seconds": self.statistics.total_seconds(),
+        }
+
+
+class NoSketchSystem(WorkloadSystem):
+    """Baseline NS: every query is evaluated on the full database."""
+
+    name = "no-sketch"
+
+    def run_query(self, sql: str) -> Relation:
+        started = time.perf_counter()
+        result = self.database.query(sql)
+        self.statistics.queries += 1
+        self.statistics.query_seconds += time.perf_counter() - started
+        return result
+
+
+class SketchBasedSystem(WorkloadSystem):
+    """Shared logic of IMP and the full-maintenance baseline."""
+
+    def __init__(
+        self,
+        database: Database,
+        num_fragments: int = 100,
+        partition_method: str = "equi-depth",
+        strategy: MaintenanceStrategy | None = None,
+        store_capacity: int | None = None,
+    ) -> None:
+        super().__init__(database)
+        self.num_fragments = num_fragments
+        self.partition_method = partition_method
+        self.strategy = strategy or LazyStrategy()
+        self.store = SketchStore(capacity=store_capacity)
+
+    # -- maintainer factory (differs between IMP and FM) ----------------------------------
+
+    def _make_maintainer(self, plan: PlanNode, partition) -> BaseMaintainer:
+        raise NotImplementedError
+
+    # -- query path -------------------------------------------------------------------------
+
+    def run_query(self, sql: str) -> Relation:
+        started = time.perf_counter()
+        try:
+            plan = self.database.plan(sql)
+            template = template_of(sql)
+            entry = self.store.get(template)
+            if entry is None:
+                entry = self._capture_entry(sql, template, plan)
+            if entry is None:
+                # No safe sketch attribute or unsupported operator: answer the
+                # query without provenance-based data skipping.
+                self.statistics.fallback_queries += 1
+                result = self.database.query(plan)
+                return result
+            self.statistics.sketch_hits += 1
+            result = self._answer_with_sketch(entry)
+            return result
+        finally:
+            self.statistics.queries += 1
+            self.statistics.query_seconds += time.perf_counter() - started
+
+    def _capture_entry(
+        self, sql: str, template: QueryTemplate, plan: PlanNode
+    ) -> SketchEntry | None:
+        try:
+            partition = build_database_partition(
+                self.database, plan, self.num_fragments, self.partition_method
+            )
+            # Sketch attributes are chosen so that an efficient access path
+            # exists (Sec. 7.4); create the backend index the use rewrite will
+            # exploit for data skipping.
+            for table_partition in partition:
+                self.database.create_index(table_partition.table, table_partition.attribute)
+            maintainer = self._make_maintainer(plan, partition)
+            capture_started = time.perf_counter()
+            result = maintainer.capture()
+            capture_seconds = time.perf_counter() - capture_started
+        except (SketchError, PlanError):
+            return None
+        entry = SketchEntry(
+            template=template,
+            sql=sql,
+            plan=plan,
+            partition=partition,
+            maintainer=maintainer,
+            capture_seconds=capture_seconds,
+        )
+        entry.maintenance_seconds += result.seconds
+        self.store.put(entry)
+        self.statistics.sketch_captures += 1
+        self.statistics.capture_seconds += capture_seconds
+        return entry
+
+    def _answer_with_sketch(self, entry: SketchEntry) -> Relation:
+        maintenance_started = time.perf_counter()
+        result = entry.maintainer.ensure_current()
+        maintenance_seconds = time.perf_counter() - maintenance_started
+        if result.changed or result.delta_tuples:
+            entry.maintenance_count += 1
+            entry.maintenance_seconds += maintenance_seconds
+            self.statistics.sketch_maintenances += 1
+            self.statistics.maintenance_seconds += maintenance_seconds
+            self.store.statistics.maintenances += 1
+        entry.use_count += 1
+        sketch = entry.sketch
+        assert sketch is not None
+        instrumented = instrument_plan(entry.plan, sketch)
+        return self.database.query(instrumented)
+
+    # -- update path (eager maintenance hook) ----------------------------------------------------
+
+    def _after_update(self, table: str, delta_tuples: int) -> None:
+        self.strategy.register_update(table, delta_tuples)
+        tables = self.strategy.tables_to_maintain()
+        if not tables:
+            return
+        started = time.perf_counter()
+        for target in tables:
+            for entry in self.store.entries_for_table(target):
+                result = entry.maintainer.ensure_current()
+                if result.changed or result.delta_tuples:
+                    entry.maintenance_count += 1
+                    self.statistics.sketch_maintenances += 1
+                    self.store.statistics.maintenances += 1
+        self.strategy.acknowledge_maintenance(tables)
+        self.statistics.maintenance_seconds += time.perf_counter() - started
+
+    # -- reporting --------------------------------------------------------------------------------
+
+    def summary(self) -> dict[str, object]:
+        report = super().summary()
+        report.update(
+            {
+                "sketches": len(self.store),
+                "captures": self.statistics.sketch_captures,
+                "maintenances": self.statistics.sketch_maintenances,
+                "fallback_queries": self.statistics.fallback_queries,
+                "strategy": self.strategy.describe(),
+                "sketch_memory_bytes": self.store.memory_bytes(),
+            }
+        )
+        return report
+
+
+class IMPSystem(SketchBasedSystem):
+    """The IMP middleware: PBDS with incremental sketch maintenance."""
+
+    name = "imp"
+
+    def __init__(
+        self,
+        database: Database,
+        config: IMPConfig | None = None,
+        num_fragments: int = 100,
+        partition_method: str = "equi-depth",
+        strategy: MaintenanceStrategy | None = None,
+        store_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            database,
+            num_fragments=num_fragments,
+            partition_method=partition_method,
+            strategy=strategy,
+            store_capacity=store_capacity,
+        )
+        self.config = config or IMPConfig()
+
+    def _make_maintainer(self, plan: PlanNode, partition) -> BaseMaintainer:
+        return IncrementalMaintainer(self.database, plan, partition, self.config)
+
+
+class FullMaintenanceSystem(SketchBasedSystem):
+    """Baseline FM: sketches are recaptured from scratch whenever stale."""
+
+    name = "full-maintenance"
+
+    def _make_maintainer(self, plan: PlanNode, partition) -> BaseMaintainer:
+        return FullMaintainer(self.database, plan, partition)
+
+
+def make_system(kind: str, database: Database, **kwargs) -> WorkloadSystem:
+    """Factory used by the benchmark harness (``imp``, ``fm`` or ``ns``)."""
+    kind = kind.lower()
+    if kind in ("imp", "incremental"):
+        return IMPSystem(database, **kwargs)
+    if kind in ("fm", "full", "full-maintenance"):
+        return FullMaintenanceSystem(database, **kwargs)
+    if kind in ("ns", "none", "no-sketch"):
+        return NoSketchSystem(database)
+    raise IMPError(f"unknown system kind {kind!r}")

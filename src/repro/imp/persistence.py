@@ -1,0 +1,321 @@
+"""Persisting and restoring incremental maintenance state.
+
+The paper's middleware can "persist the state that it maintains for its
+incremental operators in the database.  This enables the system to continue
+incremental maintenance from a consistent state, e.g., when the database is
+restarted, or when we are running out of memory and need to evict the operator
+states for a query" (Sec. 2).
+
+This module implements that capability for the reproduction:
+
+* :func:`dump_engine_state` / :func:`load_engine_state` serialise the state of
+  every stateful operator of an :class:`~repro.imp.engine.IncrementalEngine`
+  into plain JSON-compatible Python values and restore it into a freshly
+  compiled engine (same plan, same partition) without re-running the capture
+  query.
+* :class:`StatePersistence` stores those payloads -- together with the sketch,
+  the SQL text and the version the sketch is valid for -- in a regular table of
+  the backend database, and rebuilds maintainers from it.
+
+Bloom filters are intentionally *not* persisted: they are cheap to rebuild
+lazily and only affect performance, never correctness, so after a restore the
+first maintenance run simply skips Bloom pruning until the filters have been
+re-populated from the base tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.bitset import BitSet
+from repro.core.errors import StateError
+from repro.imp.engine import IMPConfig, IncrementalEngine
+from repro.imp.maintenance import IncrementalMaintainer
+from repro.imp.operators import (
+    IncrementalAggregation,
+    IncrementalDistinct,
+    IncrementalJoin,
+    IncrementalOperator,
+    IncrementalTopK,
+    MergeOperator,
+)
+from repro.imp.state import AggregationState, GroupState, MergeState
+from repro.relational.schema import Schema
+from repro.sketch.ranges import DatabasePartition, RangePartition
+from repro.sketch.sketch import ProvenanceSketch
+from repro.storage.database import Database
+
+STATE_TABLE = "_imp_persisted_state"
+"""Name of the backend table used to store persisted maintenance state."""
+
+
+# ---------------------------------------------------------------------------
+# Operator-tree serialisation
+# ---------------------------------------------------------------------------
+
+def _operators_in_order(root: IncrementalOperator) -> list[IncrementalOperator]:
+    """Deterministic pre-order listing of the operator tree.
+
+    Serialisation and deserialisation both compile the engine from the same
+    logical plan, so walking the trees in the same order pairs up operators.
+    """
+    ordered: list[IncrementalOperator] = []
+    stack = [root]
+    while stack:
+        operator = stack.pop()
+        ordered.append(operator)
+        stack.extend(reversed(list(operator.children())))
+    return ordered
+
+
+def _encode_value(value: Any) -> Any:
+    """Encode a tuple/row value into a JSON-friendly structure."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(item) for item in value]}
+    if isinstance(value, BitSet):
+        return {"__bitset__": value.mask}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_value(item) for item in value["__tuple__"])
+    if isinstance(value, dict) and "__bitset__" in value:
+        return BitSet.from_mask(int(value["__bitset__"]))
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def _group_state_payload(group: GroupState) -> dict[str, Any]:
+    payload = group.to_payload()
+    payload["key"] = _encode_value(tuple(payload["key"]))
+    return payload
+
+
+def _group_state_from_payload(payload: dict[str, Any]) -> GroupState:
+    decoded = dict(payload)
+    decoded["key"] = list(_decode_value(payload["key"]))
+    return GroupState.from_payload(decoded)
+
+
+def _aggregation_payload(operator: IncrementalAggregation) -> dict[str, Any]:
+    return {
+        "kind": "aggregation",
+        "groups": [_group_state_payload(group) for group in operator.state],
+    }
+
+
+def _load_aggregation(operator: IncrementalAggregation, payload: dict[str, Any]) -> None:
+    state = AggregationState()
+    for group_payload in payload["groups"]:
+        group = _group_state_from_payload(group_payload)
+        state.groups[group.key] = group
+    operator.state = state
+
+
+def _distinct_payload(operator: IncrementalDistinct) -> dict[str, Any]:
+    return {
+        "kind": "distinct",
+        "rows": [_group_state_payload(group) for group in operator.state.rows.values()],
+    }
+
+
+def _load_distinct(operator: IncrementalDistinct, payload: dict[str, Any]) -> None:
+    operator.state.rows.clear()
+    for group_payload in payload["rows"]:
+        group = _group_state_from_payload(group_payload)
+        operator.state.rows[group.key] = group
+
+
+def _topk_payload(operator: IncrementalTopK) -> dict[str, Any]:
+    entries = []
+    for sort_key, bucket in operator.state.tree.items():
+        for (row, annotation), multiplicity in bucket.items():
+            entries.append(
+                {
+                    "sort_key": _encode_value(sort_key),
+                    "row": _encode_value(row),
+                    "annotation": annotation.mask,
+                    "multiplicity": multiplicity,
+                }
+            )
+    return {
+        "kind": "topk",
+        "buffer_limit": operator.state.buffer_limit,
+        "overflow_count": operator.state.overflow_count,
+        "exhausted": operator.state.exhausted,
+        "entries": entries,
+    }
+
+
+def _load_topk(operator: IncrementalTopK, payload: dict[str, Any]) -> None:
+    from repro.imp.state import TopKState
+
+    state = TopKState(payload["buffer_limit"])
+    for entry in payload["entries"]:
+        state.add(
+            _decode_value(entry["sort_key"]),
+            _decode_value(entry["row"]),
+            BitSet.from_mask(int(entry["annotation"])),
+            entry["multiplicity"],
+        )
+    # ``add`` may evict when a buffer limit is set; restore the recorded
+    # bookkeeping explicitly so the state matches what was saved.
+    state.overflow_count = payload["overflow_count"]
+    state.exhausted = payload["exhausted"]
+    operator.state = state
+
+
+def _merge_payload(operator: MergeOperator) -> dict[str, Any]:
+    return {"kind": "merge", "counts": dict(operator.state.counts)}
+
+
+def _load_merge(operator: MergeOperator, payload: dict[str, Any]) -> None:
+    state = MergeState()
+    state.counts = {int(key): value for key, value in payload["counts"].items()}
+    operator.state = state
+
+
+def dump_engine_state(engine: IncrementalEngine) -> dict[str, Any]:
+    """Serialise all stateful operators of an initialised engine."""
+    if not engine.is_initialized:
+        raise StateError("cannot persist an engine that has not been initialized")
+    payloads: list[dict[str, Any] | None] = []
+    for operator in _operators_in_order(engine._merge):
+        if isinstance(operator, IncrementalAggregation):
+            payloads.append(_aggregation_payload(operator))
+        elif isinstance(operator, IncrementalDistinct):
+            payloads.append(_distinct_payload(operator))
+        elif isinstance(operator, IncrementalTopK):
+            payloads.append(_topk_payload(operator))
+        elif isinstance(operator, MergeOperator):
+            payloads.append(_merge_payload(operator))
+        else:
+            payloads.append(None)
+    return {
+        "version": engine.initialized_at_version,
+        "operators": payloads,
+    }
+
+
+def load_engine_state(engine: IncrementalEngine, payload: dict[str, Any]) -> None:
+    """Restore operator state into a freshly compiled (uninitialised) engine."""
+    operators = _operators_in_order(engine._merge)
+    saved = payload["operators"]
+    if len(saved) != len(operators):
+        raise StateError(
+            "persisted state does not match the engine's operator tree "
+            f"({len(saved)} saved vs {len(operators)} operators)"
+        )
+    for operator, operator_payload in zip(operators, saved):
+        if operator_payload is None:
+            if isinstance(operator, IncrementalJoin):
+                # Bloom filters are rebuilt lazily; disabling them for the
+                # restored engine keeps maintenance correct without a scan.
+                operator.left_bloom = None
+                operator.right_bloom = None
+            continue
+        kind = operator_payload["kind"]
+        if kind == "aggregation" and isinstance(operator, IncrementalAggregation):
+            _load_aggregation(operator, operator_payload)
+        elif kind == "distinct" and isinstance(operator, IncrementalDistinct):
+            _load_distinct(operator, operator_payload)
+        elif kind == "topk" and isinstance(operator, IncrementalTopK):
+            _load_topk(operator, operator_payload)
+        elif kind == "merge" and isinstance(operator, MergeOperator):
+            _load_merge(operator, operator_payload)
+        else:
+            raise StateError(
+                f"persisted operator kind {kind!r} does not match {operator.describe()}"
+            )
+    engine._initialized = True
+    engine.initialized_at_version = payload["version"]
+
+
+# ---------------------------------------------------------------------------
+# Backend persistence of sketches + state
+# ---------------------------------------------------------------------------
+
+def _partition_payload(partition: DatabasePartition) -> list[dict[str, Any]]:
+    return [
+        {
+            "table": table_partition.table,
+            "attribute": table_partition.attribute,
+            "boundaries": table_partition.boundaries,
+        }
+        for table_partition in partition
+    ]
+
+
+def _partition_from_payload(payload: list[dict[str, Any]]) -> DatabasePartition:
+    return DatabasePartition(
+        RangePartition(entry["table"], entry["attribute"], entry["boundaries"])
+        for entry in payload
+    )
+
+
+class StatePersistence:
+    """Stores maintainer state in a table of the backend database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        if not database.has_table(STATE_TABLE):
+            database.create_table(STATE_TABLE, ["entry_key", "payload"], primary_key="entry_key")
+
+    # -- saving -----------------------------------------------------------------
+
+    def save_maintainer(self, key: str, sql: str, maintainer: IncrementalMaintainer) -> None:
+        """Persist a maintainer's sketch, partition, version and engine state."""
+        if maintainer.sketch is None:
+            raise StateError("cannot persist a maintainer before its first capture")
+        payload = {
+            "sql": sql,
+            "partition": _partition_payload(maintainer.partition),
+            "sketch_fragments": sorted(maintainer.sketch.fragment_ids()),
+            "valid_at_version": maintainer.valid_at_version,
+            "config": {
+                "use_bloom_filters": maintainer.config.use_bloom_filters,
+                "selection_pushdown": maintainer.config.selection_pushdown,
+                "min_max_buffer": maintainer.config.min_max_buffer,
+                "topk_buffer": maintainer.config.topk_buffer,
+            },
+            "engine_state": dump_engine_state(maintainer.engine),
+        }
+        serialised = json.dumps(payload)
+        table = self.database.table(STATE_TABLE)
+        existing = table.lookup_by_key(key)
+        if existing is not None:
+            self.database.delete_rows(STATE_TABLE, [existing])
+        self.database.insert(STATE_TABLE, [(key, serialised)])
+
+    # -- loading ----------------------------------------------------------------
+
+    def saved_keys(self) -> list[str]:
+        """Keys of all persisted maintainers."""
+        return sorted(row[0] for row in self.database.table(STATE_TABLE).rows())
+
+    def load_maintainer(self, key: str) -> tuple[str, IncrementalMaintainer]:
+        """Rebuild a maintainer (and its engine state) from the backend."""
+        stored = self.database.table(STATE_TABLE).lookup_by_key(key)
+        if stored is None:
+            raise StateError(f"no persisted state for key {key!r}")
+        payload = json.loads(stored[1])
+        sql = payload["sql"]
+        partition = _partition_from_payload(payload["partition"])
+        config = IMPConfig(**payload["config"])
+        plan = self.database.plan(sql)
+        maintainer = IncrementalMaintainer(self.database, plan, partition, config)
+        load_engine_state(maintainer.engine, payload["engine_state"])
+        sketch = ProvenanceSketch(partition, payload["sketch_fragments"])
+        maintainer.sketch = sketch
+        maintainer.valid_at_version = payload["valid_at_version"]
+        maintainer.sketch_versions.append((payload["valid_at_version"], sketch))
+        return sql, maintainer
+
+    def forget(self, key: str) -> None:
+        """Drop a persisted entry (no error when absent)."""
+        stored = self.database.table(STATE_TABLE).lookup_by_key(key)
+        if stored is not None:
+            self.database.delete_rows(STATE_TABLE, [stored])

@@ -1,0 +1,145 @@
+"""The sketch store: IMP's catalog of managed sketches.
+
+IMP stores sketches in a hash table keyed by the query template of the query
+they were captured for (paper Sec. 7.1).  Each entry holds the sketch itself,
+the query and plan, the partition it is defined over, the database version it
+is valid for, and the maintainer (whose incremental operator state can also be
+persisted into the backend database so maintenance can resume after a restart
+or after state eviction, Sec. 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.imp.maintenance import BaseMaintainer
+from repro.relational.algebra import PlanNode
+from repro.sketch.ranges import DatabasePartition
+from repro.sketch.sketch import ProvenanceSketch
+from repro.sql.template import QueryTemplate
+
+
+@dataclass
+class SketchEntry:
+    """One managed sketch and everything needed to maintain and reuse it."""
+
+    template: QueryTemplate
+    sql: str
+    plan: PlanNode
+    partition: DatabasePartition
+    maintainer: BaseMaintainer
+    use_count: int = 0
+    maintenance_count: int = 0
+    capture_seconds: float = 0.0
+    maintenance_seconds: float = 0.0
+
+    @property
+    def sketch(self) -> ProvenanceSketch | None:
+        """The latest sketch version (None before the first capture)."""
+        return self.maintainer.sketch
+
+    @property
+    def valid_at_version(self) -> int | None:
+        """Database version the sketch is valid for."""
+        return self.maintainer.valid_at_version
+
+    def referenced_tables(self) -> set[str]:
+        """Tables whose updates can make this sketch stale."""
+        return self.plan.referenced_tables()
+
+    def memory_bytes(self) -> int:
+        """Memory used by the sketch and its maintenance state."""
+        sketch_bytes = self.sketch.byte_size() if self.sketch is not None else 0
+        return sketch_bytes + self.maintainer.memory_bytes()
+
+
+@dataclass
+class StoreStatistics:
+    """Aggregate counters of the sketch store."""
+
+    hits: int = 0
+    misses: int = 0
+    captures: int = 0
+    maintenances: int = 0
+    evictions: int = 0
+
+
+class SketchStore:
+    """A template-keyed collection of :class:`SketchEntry` objects."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._entries: dict[str, SketchEntry] = {}
+        self._capacity = capacity
+        self.statistics = StoreStatistics()
+
+    # -- lookup --------------------------------------------------------------------
+
+    def get(self, template: QueryTemplate) -> SketchEntry | None:
+        """Look up the entry for a query template (tracks hit/miss counters)."""
+        entry = self._entries.get(template.text)
+        if entry is None:
+            self.statistics.misses += 1
+        else:
+            self.statistics.hits += 1
+        return entry
+
+    def __contains__(self, template: QueryTemplate) -> bool:
+        return template.text in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[SketchEntry]:
+        """Iterate over all managed sketches."""
+        return iter(self._entries.values())
+
+    def entries_for_table(self, table: str) -> list[SketchEntry]:
+        """Entries whose query references ``table`` (candidates for maintenance)."""
+        table = table.lower()
+        return [
+            entry for entry in self._entries.values() if table in entry.referenced_tables()
+        ]
+
+    # -- mutation --------------------------------------------------------------------
+
+    def put(self, entry: SketchEntry) -> None:
+        """Register a new entry, evicting the least recently useful one if full."""
+        if (
+            self._capacity is not None
+            and entry.template.text not in self._entries
+            and len(self._entries) >= self._capacity
+        ):
+            self._evict_one()
+        self._entries[entry.template.text] = entry
+        self.statistics.captures += 1
+
+    def remove(self, template: QueryTemplate) -> None:
+        """Drop the entry for a template (no error when absent)."""
+        self._entries.pop(template.text, None)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+
+    def _evict_one(self) -> None:
+        victim = min(self._entries.values(), key=lambda entry: entry.use_count)
+        del self._entries[victim.template.text]
+        self.statistics.evictions += 1
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Total memory used by sketches and their maintenance state."""
+        return sum(entry.memory_bytes() for entry in self._entries.values())
+
+    def summary(self) -> dict[str, object]:
+        """A compact report used by the examples and the benchmark harness."""
+        return {
+            "sketches": len(self._entries),
+            "hits": self.statistics.hits,
+            "misses": self.statistics.misses,
+            "captures": self.statistics.captures,
+            "maintenances": self.statistics.maintenances,
+            "memory_bytes": self.memory_bytes(),
+        }

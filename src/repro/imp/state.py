@@ -1,0 +1,486 @@
+"""Operator state for the incremental engine.
+
+Each stateful incremental operator keeps exactly the state described in
+Sec. 5.2 of the paper:
+
+* aggregation with ``sum``/``count``/``avg``: per-group ``SUM``/``CNT`` plus a
+  map ``ℱ_g`` counting, for every range of the partition, how many input
+  tuples of the group carry that range in their sketch;
+* aggregation with ``min``/``max``: the same ``ℱ_g`` plus a balanced search
+  tree over the aggregate values (optionally truncated to a top-``l`` buffer,
+  Sec. 7.2);
+* top-k: an ordered map from ORDER BY keys to annotated tuples and their
+  multiplicities (optionally truncated to ``l ≥ k`` entries);
+* duplicate elimination: per-row reference counts with their ``ℱ`` map;
+* the merge operator ``μ``: a count per range of how many result tuples carry
+  that range.
+
+All states support byte-size estimation (for the memory experiments) and a
+plain-Python payload serialisation so the middleware can persist and restore
+them through the backend database (Sec. 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.core.bitset import BitSet
+from repro.core.errors import StateError
+from repro.core.rbtree import RedBlackTree, SortedMultiSet
+from repro.core.timing import MemoryMeter
+from repro.relational.algebra import AggregateFunction
+from repro.relational.schema import Row
+
+
+class SumCountAccumulator:
+    """Accumulator shared by ``sum``, ``count`` and ``avg`` (Sec. 5.2.5)."""
+
+    __slots__ = ("function", "total", "non_null_count", "star_count")
+
+    def __init__(self, function: AggregateFunction) -> None:
+        self.function = function
+        self.total = 0.0
+        self.non_null_count = 0
+        self.star_count = 0
+
+    def update(self, value: object, multiplicity: int) -> None:
+        """Apply ``multiplicity`` (signed) occurrences of ``value``."""
+        self.star_count += multiplicity
+        if value is None:
+            return
+        self.non_null_count += multiplicity
+        if self.function in (AggregateFunction.SUM, AggregateFunction.AVG):
+            self.total += float(value) * multiplicity  # type: ignore[arg-type]
+
+    def result(self) -> object:
+        """Current aggregate value (matching full evaluation semantics)."""
+        if self.function is AggregateFunction.COUNT:
+            return self.non_null_count if self.non_null_count or self.star_count == 0 else 0
+        if self.non_null_count == 0:
+            return None
+        if self.function is AggregateFunction.SUM:
+            return self.total
+        if self.function is AggregateFunction.AVG:
+            return self.total / self.non_null_count
+        raise StateError(f"accumulator does not support {self.function}")
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "kind": "sum_count",
+            "function": self.function.value,
+            "total": self.total,
+            "non_null_count": self.non_null_count,
+            "star_count": self.star_count,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "SumCountAccumulator":
+        accumulator = cls(AggregateFunction(payload["function"]))
+        accumulator.total = payload["total"]
+        accumulator.non_null_count = payload["non_null_count"]
+        accumulator.star_count = payload["star_count"]
+        return accumulator
+
+
+class CountStarAccumulator(SumCountAccumulator):
+    """Accumulator for ``count(*)`` which counts NULLs as well."""
+
+    def __init__(self) -> None:
+        super().__init__(AggregateFunction.COUNT)
+
+    def result(self) -> object:
+        return self.star_count
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = super().to_payload()
+        payload["kind"] = "count_star"
+        return payload
+
+
+class MinMaxAccumulator:
+    """Accumulator for ``min``/``max`` backed by a sorted multiset (Sec. 5.2.6).
+
+    With a ``buffer_limit`` only the ``l`` best values are retained
+    (smallest for min, largest for max); values beyond the buffer are only
+    counted.  When deletions exhaust the buffer while overflow values remain,
+    the accumulator can no longer produce the correct extreme and reports
+    itself as *exhausted*, signalling the engine to recapture (Sec. 7.2,
+    "Optimizing Minimum, Maximum, and Top-k").
+    """
+
+    __slots__ = ("function", "values", "buffer_limit", "overflow_count", "exhausted")
+
+    def __init__(self, function: AggregateFunction, buffer_limit: int | None = None) -> None:
+        if function not in (AggregateFunction.MIN, AggregateFunction.MAX):
+            raise StateError("MinMaxAccumulator only supports min and max")
+        self.function = function
+        self.values: SortedMultiSet[Any] = SortedMultiSet()
+        self.buffer_limit = buffer_limit
+        self.overflow_count = 0
+        self.exhausted = False
+
+    # -- updates -------------------------------------------------------------------
+
+    def update(self, value: object, multiplicity: int) -> None:
+        """Apply a signed multiplicity of ``value``."""
+        if value is None:
+            return
+        if multiplicity > 0:
+            self._insert(value, multiplicity)
+        elif multiplicity < 0:
+            self._delete(value, -multiplicity)
+
+    def _insert(self, value: object, count: int) -> None:
+        self.values.add(value, count)
+        self._evict_overflow()
+
+    def _evict_overflow(self) -> None:
+        if self.buffer_limit is None:
+            return
+        while len(self.values) > self.buffer_limit:
+            victim = self.values.max() if self.function is AggregateFunction.MIN else self.values.min()
+            removed = self.values.remove(victim, 1)
+            if removed == 0:  # pragma: no cover - defensive
+                break
+            self.overflow_count += removed
+
+    def _delete(self, value: object, count: int) -> None:
+        removed = self.values.remove(value, count)
+        missing = count - removed
+        if missing > 0:
+            # The deleted values were (presumably) beyond the buffer.
+            if self.overflow_count >= missing:
+                self.overflow_count -= missing
+            else:
+                self.overflow_count = 0
+                self.exhausted = True
+        if len(self.values) == 0 and self.overflow_count > 0:
+            # We know values exist but not what they are.
+            self.exhausted = True
+
+    # -- results -------------------------------------------------------------------
+
+    def result(self) -> object:
+        """The current minimum / maximum (None when no non-null values exist)."""
+        if self.exhausted:
+            raise StateError("min/max state exhausted; sketch must be recaptured")
+        if len(self.values) == 0:
+            return None
+        return self.values.min() if self.function is AggregateFunction.MIN else self.values.max()
+
+    @property
+    def stored_count(self) -> int:
+        """Number of values currently kept in the buffer."""
+        return len(self.values)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "kind": "min_max",
+            "function": self.function.value,
+            "buffer_limit": self.buffer_limit,
+            "overflow_count": self.overflow_count,
+            "exhausted": self.exhausted,
+            "values": list(self.values.items()),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "MinMaxAccumulator":
+        accumulator = cls(AggregateFunction(payload["function"]), payload["buffer_limit"])
+        accumulator.overflow_count = payload["overflow_count"]
+        accumulator.exhausted = payload["exhausted"]
+        for value, count in payload["values"]:
+            accumulator.values.add(value, count)
+        return accumulator
+
+
+def make_accumulator(
+    function: AggregateFunction,
+    has_argument: bool,
+    min_max_buffer: int | None = None,
+) -> SumCountAccumulator | MinMaxAccumulator:
+    """Create the appropriate accumulator for an aggregate specification."""
+    if function in (AggregateFunction.MIN, AggregateFunction.MAX):
+        return MinMaxAccumulator(function, min_max_buffer)
+    if function is AggregateFunction.COUNT and not has_argument:
+        return CountStarAccumulator()
+    return SumCountAccumulator(function)
+
+
+class GroupState:
+    """Per-group state of an incremental aggregation operator."""
+
+    __slots__ = ("key", "total_count", "fragment_counts", "accumulators")
+
+    def __init__(self, key: tuple, accumulators: list) -> None:
+        self.key = key
+        self.total_count = 0
+        self.fragment_counts: dict[int, int] = {}
+        self.accumulators = accumulators
+
+    def apply(
+        self, argument_values: list[object], annotation: BitSet, signed_multiplicity: int
+    ) -> None:
+        """Apply one annotated input tuple of the group."""
+        self.total_count += signed_multiplicity
+        for accumulator, value in zip(self.accumulators, argument_values):
+            accumulator.update(value, signed_multiplicity)
+        for fragment in annotation:
+            updated = self.fragment_counts.get(fragment, 0) + signed_multiplicity
+            if updated:
+                self.fragment_counts[fragment] = updated
+            else:
+                self.fragment_counts.pop(fragment, None)
+
+    @property
+    def exists(self) -> bool:
+        """Whether the group still has input tuples."""
+        return self.total_count > 0
+
+    def output_values(self) -> tuple:
+        """The aggregate results for the group."""
+        return tuple(accumulator.result() for accumulator in self.accumulators)
+
+    def sketch(self) -> BitSet:
+        """The group's sketch: ranges with a positive contribution count."""
+        return BitSet(
+            fragment for fragment, count in self.fragment_counts.items() if count > 0
+        )
+
+    def exhausted(self) -> bool:
+        """Whether any min/max accumulator lost track of its extreme value."""
+        return any(
+            isinstance(accumulator, MinMaxAccumulator) and accumulator.exhausted
+            for accumulator in self.accumulators
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "key": list(self.key),
+            "total_count": self.total_count,
+            "fragment_counts": dict(self.fragment_counts),
+            "accumulators": [accumulator.to_payload() for accumulator in self.accumulators],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "GroupState":
+        accumulators = []
+        for accumulator_payload in payload["accumulators"]:
+            if accumulator_payload["kind"] == "min_max":
+                accumulators.append(MinMaxAccumulator.from_payload(accumulator_payload))
+            elif accumulator_payload["kind"] == "count_star":
+                accumulators.append(CountStarAccumulator.from_payload(accumulator_payload))
+            else:
+                accumulators.append(SumCountAccumulator.from_payload(accumulator_payload))
+        state = cls(tuple(payload["key"]), accumulators)
+        state.total_count = payload["total_count"]
+        state.fragment_counts = {int(k): v for k, v in payload["fragment_counts"].items()}
+        return state
+
+
+class AggregationState:
+    """State of an incremental aggregation operator: a map group -> GroupState."""
+
+    def __init__(self) -> None:
+        self.groups: dict[tuple, GroupState] = {}
+
+    def get(self, key: tuple) -> GroupState | None:
+        return self.groups.get(key)
+
+    def get_or_create(self, key: tuple, accumulator_factory) -> GroupState:
+        state = self.groups.get(key)
+        if state is None:
+            state = GroupState(key, accumulator_factory())
+            self.groups[key] = state
+        return state
+
+    def drop(self, key: tuple) -> None:
+        self.groups.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[GroupState]:
+        return iter(self.groups.values())
+
+    def memory_bytes(self) -> int:
+        """Estimated memory footprint of the aggregation state."""
+        return MemoryMeter().measure(self.groups)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"groups": [state.to_payload() for state in self.groups.values()]}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "AggregationState":
+        state = cls()
+        for group_payload in payload["groups"]:
+            group = GroupState.from_payload(group_payload)
+            state.groups[group.key] = group
+        return state
+
+
+class DistinctState:
+    """Per-row reference counts for incremental duplicate elimination."""
+
+    def __init__(self) -> None:
+        self.rows: dict[Row, GroupState] = {}
+
+    def get_or_create(self, row: Row) -> GroupState:
+        state = self.rows.get(row)
+        if state is None:
+            state = GroupState(row, [])
+            self.rows[row] = state
+        return state
+
+    def drop(self, row: Row) -> None:
+        self.rows.pop(row, None)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def memory_bytes(self) -> int:
+        return MemoryMeter().measure(self.rows)
+
+
+class TopKState:
+    """State of the incremental top-k operator (Sec. 5.2.7).
+
+    A balanced search tree maps ORDER BY sort keys to the annotated tuples
+    sharing that key and their multiplicities.  With a ``buffer_limit`` only
+    the best ``l`` tuples are stored; the rest are only counted so deletions of
+    buffered tuples can be detected as exhausting the buffer.
+    """
+
+    def __init__(self, buffer_limit: int | None = None) -> None:
+        self.tree: RedBlackTree[tuple, dict[tuple[Row, BitSet], int]] = RedBlackTree()
+        self.buffer_limit = buffer_limit
+        self.stored_count = 0
+        self.overflow_count = 0
+        self.exhausted = False
+
+    # -- updates ------------------------------------------------------------------
+
+    def add(self, sort_key: tuple, row: Row, annotation: BitSet, multiplicity: int) -> None:
+        """Insert ``multiplicity`` copies of an annotated tuple."""
+        bucket = self.tree.get(sort_key)
+        if bucket is None:
+            bucket = {}
+            self.tree.insert(sort_key, bucket)
+        entry = (row, annotation)
+        bucket[entry] = bucket.get(entry, 0) + multiplicity
+        self.stored_count += multiplicity
+        self._evict_overflow()
+
+    def remove(self, sort_key: tuple, row: Row, annotation: BitSet, multiplicity: int) -> None:
+        """Remove up to ``multiplicity`` copies of an annotated tuple."""
+        bucket = self.tree.get(sort_key)
+        entry = (row, annotation)
+        available = bucket.get(entry, 0) if bucket else 0
+        removed = min(available, multiplicity)
+        if removed:
+            remaining = available - removed
+            if remaining:
+                bucket[entry] = remaining  # type: ignore[index]
+            else:
+                del bucket[entry]  # type: ignore[arg-type]
+                if not bucket:
+                    self.tree.delete(sort_key)
+            self.stored_count -= removed
+        missing = multiplicity - removed
+        if missing > 0:
+            if self.overflow_count >= missing:
+                self.overflow_count -= missing
+            else:
+                self.overflow_count = 0
+                self.exhausted = True
+
+    def _evict_overflow(self) -> None:
+        if self.buffer_limit is None:
+            return
+        while self.stored_count > self.buffer_limit:
+            largest_key = self.tree.max_key()
+            bucket = self.tree[largest_key]
+            entry = next(iter(bucket))
+            count = bucket[entry]
+            evict = min(count, self.stored_count - self.buffer_limit)
+            remaining = count - evict
+            if remaining:
+                bucket[entry] = remaining
+            else:
+                del bucket[entry]
+                if not bucket:
+                    self.tree.delete(largest_key)
+            self.stored_count -= evict
+            self.overflow_count += evict
+
+    # -- queries ------------------------------------------------------------------
+
+    def top_k(self, k: int) -> list[tuple[Row, BitSet, int]]:
+        """The current top-k annotated tuples (with truncated multiplicities)."""
+        if self.exhausted:
+            raise StateError("top-k state exhausted; sketch must be recaptured")
+        result: list[tuple[Row, BitSet, int]] = []
+        remaining = k
+        for _key, bucket in self.tree.items():
+            for (row, annotation), multiplicity in bucket.items():
+                if remaining <= 0:
+                    return result
+                take = min(multiplicity, remaining)
+                result.append((row, annotation, take))
+                remaining -= take
+            if remaining <= 0:
+                break
+        return result
+
+    def can_answer(self, k: int) -> bool:
+        """Whether the buffer still holds enough tuples to produce a top-k."""
+        if self.exhausted:
+            return False
+        if self.overflow_count == 0:
+            return True
+        return self.stored_count >= k
+
+    def memory_bytes(self) -> int:
+        entries = []
+        for key, bucket in self.tree.items():
+            entries.append(key)
+            entries.append(bucket)
+        return MemoryMeter().measure_many(entries) + 64
+
+    def __len__(self) -> int:
+        return self.stored_count
+
+
+class MergeState:
+    """Reference counts of the merge operator ``μ`` (Sec. 5.1)."""
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+
+    def update(self, fragment: int, signed_multiplicity: int) -> int:
+        """Adjust the count of ``fragment``; returns the new count."""
+        updated = self.counts.get(fragment, 0) + signed_multiplicity
+        if updated:
+            self.counts[fragment] = updated
+        else:
+            self.counts.pop(fragment, None)
+        return updated
+
+    def count(self, fragment: int) -> int:
+        return self.counts.get(fragment, 0)
+
+    def active_fragments(self) -> set[int]:
+        """Fragments with a positive reference count (the current sketch)."""
+        return {fragment for fragment, count in self.counts.items() if count > 0}
+
+    def memory_bytes(self) -> int:
+        return MemoryMeter().measure(self.counts)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"counts": dict(self.counts)}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "MergeState":
+        state = cls()
+        state.counts = {int(k): v for k, v in payload["counts"].items()}
+        return state

@@ -1,0 +1,335 @@
+"""Bag-semantics evaluation of relational algebra plans.
+
+The evaluator is the reference ("full") query engine: the backend database
+uses it to answer queries, the full-maintenance baseline uses it to recapture
+sketches, and the test suite uses it as the oracle against which the
+incremental engine is verified (tuple correctness, Theorem 6.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Protocol
+
+from repro.core.errors import PlanError, UnsupportedOperationError
+from repro.relational.algebra import (
+    Aggregate,
+    AggregateFunction,
+    Aggregation,
+    Distinct,
+    Join,
+    PlanNode,
+    Projection,
+    Selection,
+    TableScan,
+    TopK,
+)
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.schema import Relation, Row, Schema
+
+
+class RelationProvider(Protocol):
+    """Source of base relations, typically the backend database."""
+
+    def relation(self, table: str) -> Relation:  # pragma: no cover - protocol
+        ...
+
+    def schema_of(self, table: str) -> Schema:  # pragma: no cover - protocol
+        ...
+
+
+def compute_aggregate(
+    function: AggregateFunction, values: Iterable[tuple[object, int]]
+) -> object:
+    """Compute an aggregate over ``(value, multiplicity)`` pairs.
+
+    NULL values are ignored (SQL semantics); an empty input yields NULL for
+    sum/avg/min/max and 0 for count.
+    """
+    total = 0.0
+    count = 0
+    minimum: object | None = None
+    maximum: object | None = None
+    seen_any = False
+    for value, multiplicity in values:
+        if value is None:
+            continue
+        seen_any = True
+        count += multiplicity
+        if function in (AggregateFunction.SUM, AggregateFunction.AVG):
+            total += value * multiplicity  # type: ignore[operator]
+        if function is AggregateFunction.MIN:
+            minimum = value if minimum is None else min(minimum, value)  # type: ignore[type-var]
+        if function is AggregateFunction.MAX:
+            maximum = value if maximum is None else max(maximum, value)  # type: ignore[type-var]
+    if function is AggregateFunction.COUNT:
+        return count
+    if not seen_any:
+        return None
+    if function is AggregateFunction.SUM:
+        return total
+    if function is AggregateFunction.AVG:
+        return total / count if count else None
+    if function is AggregateFunction.MIN:
+        return minimum
+    if function is AggregateFunction.MAX:
+        return maximum
+    raise UnsupportedOperationError(f"unknown aggregate {function}")
+
+
+def order_sort_key(values: tuple) -> tuple:
+    """Total order over heterogeneous sort keys (None sorts first)."""
+    key = []
+    for value in values:
+        if value is None:
+            key.append((0, 0))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            key.append((1, value))
+        else:
+            key.append((2, str(value)))
+    return tuple(key)
+
+
+class Evaluator:
+    """Evaluate logical plans against a :class:`RelationProvider`."""
+
+    def __init__(self, provider: RelationProvider) -> None:
+        self._provider = provider
+
+    # -- public API --------------------------------------------------------------
+
+    def evaluate(self, plan: PlanNode) -> Relation:
+        """Evaluate ``plan`` and return its output relation."""
+        return self._evaluate(plan)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _evaluate(self, node: PlanNode) -> Relation:
+        if isinstance(node, TableScan):
+            return self._table_scan(node)
+        if isinstance(node, Selection):
+            return self._selection(node)
+        if isinstance(node, Projection):
+            return self._projection(node)
+        if isinstance(node, Join):
+            return self._join(node)
+        if isinstance(node, Aggregation):
+            return self._aggregation(node)
+        if isinstance(node, Distinct):
+            return self._distinct(node)
+        if isinstance(node, TopK):
+            return self._top_k(node)
+        raise PlanError(f"evaluator does not support plan node {type(node).__name__}")
+
+    # -- operators ---------------------------------------------------------------
+
+    def _table_scan(self, node: TableScan) -> Relation:
+        base = self._provider.relation(node.table)
+        schema = base.schema.qualify(node.alias)
+        result = Relation(schema)
+        for row, multiplicity in base.items():
+            result.add(row, multiplicity)
+        return result
+
+    def _selection(self, node: Selection) -> Relation:
+        indexed = self._try_index_scan(node)
+        if indexed is not None:
+            return indexed
+        child = self._evaluate(node.child)
+        result = Relation(child.schema)
+        for row, multiplicity in child.items():
+            if node.predicate.evaluate(row, child.schema) is True:
+                result.add(row, multiplicity)
+        return result
+
+    def _try_index_scan(self, node: Selection) -> Relation | None:
+        """Serve a selection directly over a table scan from an ordered index.
+
+        This is the physical design hook provenance-based data skipping relies
+        on: when the predicate (e.g. the BETWEEN disjunction injected by the
+        use rewrite) bounds an indexed attribute, only qualifying rows are
+        fetched instead of scanning the whole table.  The full predicate is
+        re-checked on the fetched rows, so over-approximated bounds stay sound.
+        """
+        child = node.child
+        if not isinstance(child, TableScan):
+            return None
+        provider = self._provider
+        if not hasattr(provider, "indexed_attributes") or not hasattr(provider, "index_scan"):
+            return None
+        from repro.relational.predicates import extract_intervals, intervals_are_selective
+
+        schema = provider.schema_of(child.table).qualify(child.alias)
+        for attribute in provider.indexed_attributes(child.table):
+            intervals = extract_intervals(node.predicate, attribute)
+            if not intervals_are_selective(intervals):
+                continue
+            result = Relation(schema)
+            for row, multiplicity in provider.index_scan(child.table, attribute, intervals):
+                if node.predicate.evaluate(row, schema) is True:
+                    result.add(row, multiplicity)
+            return result
+        return None
+
+    def _projection(self, node: Projection) -> Relation:
+        child = self._evaluate(node.child)
+        schema = Schema(item.alias for item in node.items)
+        result = Relation(schema)
+        for row, multiplicity in child.items():
+            projected = tuple(
+                item.expression.evaluate(row, child.schema) for item in node.items
+            )
+            result.add(projected, multiplicity)
+        return result
+
+    def _join(self, node: Join) -> Relation:
+        left = self._evaluate(node.left)
+        right = self._evaluate(node.right)
+        schema = left.schema.concat(right.schema)
+        result = Relation(schema)
+        keys = node.equi_join_keys()
+        if keys is not None and self._keys_split(keys, left.schema, right.schema):
+            self._hash_join(node, left, right, schema, result)
+            return result
+        for left_row, left_mult in left.items():
+            for right_row, right_mult in right.items():
+                combined = left_row + right_row
+                if node.condition is None or node.condition.evaluate(combined, schema) is True:
+                    result.add(combined, left_mult * right_mult)
+        return result
+
+    @staticmethod
+    def _keys_split(
+        keys: tuple[list[str], list[str]], left: Schema, right: Schema
+    ) -> bool:
+        """Whether the equi-join keys reference one side each (possibly swapped)."""
+        first, second = keys
+        straight = all(left.has(k) for k in first) and all(right.has(k) for k in second)
+        swapped = all(right.has(k) for k in first) and all(left.has(k) for k in second)
+        return straight or swapped
+
+    def _hash_join(
+        self,
+        node: Join,
+        left: Relation,
+        right: Relation,
+        schema: Schema,
+        result: Relation,
+    ) -> None:
+        first, second = node.equi_join_keys()  # type: ignore[misc]
+        if all(left.schema.has(k) for k in first) and all(right.schema.has(k) for k in second):
+            left_keys, right_keys = first, second
+        else:
+            left_keys, right_keys = second, first
+        left_positions = [left.schema.index_of(k) for k in left_keys]
+        right_positions = [right.schema.index_of(k) for k in right_keys]
+        index: dict[tuple, list[tuple[Row, int]]] = {}
+        for right_row, right_mult in right.items():
+            key = tuple(right_row[p] for p in right_positions)
+            index.setdefault(key, []).append((right_row, right_mult))
+        for left_row, left_mult in left.items():
+            key = tuple(left_row[p] for p in left_positions)
+            for right_row, right_mult in index.get(key, ()):
+                combined = left_row + right_row
+                if node.condition is None or node.condition.evaluate(combined, schema) is True:
+                    result.add(combined, left_mult * right_mult)
+
+    def _aggregation(self, node: Aggregation) -> Relation:
+        child = self._evaluate(node.child)
+        schema = node.output_schema(self._provider)
+        groups: dict[tuple, list[tuple[Row, int]]] = {}
+        for row, multiplicity in child.items():
+            key = tuple(expr.evaluate(row, child.schema) for expr in node.group_by)
+            groups.setdefault(key, []).append((row, multiplicity))
+        result = Relation(schema)
+        if not groups and not node.group_by:
+            # Aggregation without GROUP BY over an empty input produces one row.
+            row = tuple(self._aggregate_values(agg, [], child.schema) for agg in node.aggregates)
+            result.add(row, 1)
+            return result
+        for key, rows in groups.items():
+            aggregates = tuple(
+                self._aggregate_values(agg, rows, child.schema) for agg in node.aggregates
+            )
+            result.add(key + aggregates, 1)
+        return result
+
+    @staticmethod
+    def _aggregate_values(
+        aggregate: Aggregate, rows: list[tuple[Row, int]], schema: Schema
+    ) -> object:
+        if aggregate.function is AggregateFunction.COUNT and aggregate.argument is None:
+            return sum(multiplicity for _row, multiplicity in rows)
+        values = (
+            (aggregate.argument.evaluate(row, schema), multiplicity)  # type: ignore[union-attr]
+            for row, multiplicity in rows
+        )
+        return compute_aggregate(aggregate.function, values)
+
+    def _distinct(self, node: Distinct) -> Relation:
+        child = self._evaluate(node.child)
+        result = Relation(child.schema)
+        for row in child.distinct_rows():
+            result.add(row, 1)
+        return result
+
+    def _top_k(self, node: TopK) -> Relation:
+        child = self._evaluate(node.child)
+        ordered = sorted(
+            child.items(),
+            key=lambda item: self._order_key(node, item[0], child.schema),
+        )
+        result = Relation(child.schema)
+        remaining = node.k
+        for row, multiplicity in ordered:
+            if remaining <= 0:
+                break
+            take = min(multiplicity, remaining)
+            result.add(row, take)
+            remaining -= take
+        return result
+
+    @staticmethod
+    def _order_key(node: TopK, row: Row, schema: Schema) -> tuple:
+        raw = []
+        for item in node.order_by:
+            value = item.expression.evaluate(row, schema)
+            raw.append(value)
+        key = list(order_sort_key(tuple(raw)))
+        # Descending keys invert numeric components; strings fall back to a
+        # stable inversion through a wrapper class.
+        adjusted = []
+        for (tag, value), item in zip(key, node.order_by):
+            if item.ascending:
+                adjusted.append((tag, value))
+            else:
+                if isinstance(value, (int, float)):
+                    adjusted.append((-tag, -value))
+                else:
+                    adjusted.append((-tag, _Reversed(value)))
+        return tuple(adjusted)
+
+
+class _Reversed:
+    """Wrapper that reverses comparison order for non-numeric sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value  # type: ignore[operator]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(self.value)
+
+
+def attribute_of(expression: Expression) -> str | None:
+    """Return the attribute name when ``expression`` is a plain column reference."""
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    return None

@@ -1,0 +1,448 @@
+"""Scalar expression AST and evaluation.
+
+Expressions appear in selection predicates, projection lists, join conditions,
+GROUP BY lists and HAVING clauses.  The AST is deliberately small -- the subset
+used by the paper's query templates (Appendix A): column references, literals,
+arithmetic, comparisons, BETWEEN, IS NULL, boolean connectives and aggregate
+function calls (which the translator lifts out of expressions before plans are
+evaluated).
+
+Every node implements
+
+* ``evaluate(row, schema)`` -- compute the value for a tuple,
+* ``columns()`` -- the set of referenced attribute names,
+* ``rename(mapping)`` -- structural copy with column names substituted, and
+* a deterministic ``canonical()`` string used for query templates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.core.errors import SchemaError, UnsupportedOperationError
+from repro.relational.schema import Row, Schema
+
+
+class Expression:
+    """Base class for scalar expressions."""
+
+    def evaluate(self, row: Row, schema: Schema) -> Any:
+        """Evaluate the expression for ``row`` interpreted under ``schema``."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Attribute names referenced by the expression."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expression":
+        """Return a copy with column references substituted via ``mapping``."""
+        raise NotImplementedError
+
+    def canonical(self, parameterize: bool = False) -> str:
+        """Deterministic textual form; with ``parameterize`` literals become ``?``."""
+        raise NotImplementedError
+
+    def contains_aggregate(self) -> bool:
+        """Whether the expression (transitively) contains an aggregate call."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.canonical()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Expression):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+
+class ColumnRef(Expression):
+    """Reference to an attribute by (possibly qualified) name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, row: Row, schema: Schema) -> Any:
+        return row[schema.index_of(self.name)]
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def rename(self, mapping: Mapping[str, str]) -> "ColumnRef":
+        return ColumnRef(mapping.get(self.name, self.name))
+
+    def canonical(self, parameterize: bool = False) -> str:
+        return self.name
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, row: Row, schema: Schema) -> Any:
+        return self.value
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Literal":
+        return Literal(self.value)
+
+    def canonical(self, parameterize: bool = False) -> str:
+        if parameterize:
+            return "?"
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return repr(self.value)
+
+
+_ARITHMETIC = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else None,
+    "%": lambda a, b: a % b if b != 0 else None,
+}
+
+
+class BinaryOp(Expression):
+    """Arithmetic binary operation (``+ - * / %``)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _ARITHMETIC:
+            raise UnsupportedOperationError(f"unsupported arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row, schema: Schema) -> Any:
+        left = self.left.evaluate(row, schema)
+        right = self.right.evaluate(row, schema)
+        if left is None or right is None:
+            return None
+        return _ARITHMETIC[self.op](left, right)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> "BinaryOp":
+        return BinaryOp(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def canonical(self, parameterize: bool = False) -> str:
+        return (
+            f"({self.left.canonical(parameterize)} {self.op} "
+            f"{self.right.canonical(parameterize)})"
+        )
+
+    def contains_aggregate(self) -> bool:
+        return self.left.contains_aggregate() or self.right.contains_aggregate()
+
+
+class UnaryMinus(Expression):
+    """Arithmetic negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: Row, schema: Schema) -> Any:
+        value = self.operand.evaluate(row, schema)
+        return None if value is None else -value
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> "UnaryMinus":
+        return UnaryMinus(self.operand.rename(mapping))
+
+    def canonical(self, parameterize: bool = False) -> str:
+        return f"(-{self.operand.canonical(parameterize)})"
+
+    def contains_aggregate(self) -> bool:
+        return self.operand.contains_aggregate()
+
+
+_COMPARISONS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Expression):
+    """Comparison predicate between two scalar expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _COMPARISONS:
+            raise UnsupportedOperationError(f"unsupported comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row, schema: Schema) -> bool | None:
+        left = self.left.evaluate(row, schema)
+        right = self.right.evaluate(row, schema)
+        if left is None or right is None:
+            return None
+        return bool(_COMPARISONS[self.op](left, right))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Comparison":
+        return Comparison(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def canonical(self, parameterize: bool = False) -> str:
+        op = "<>" if self.op == "!=" else self.op
+        return (
+            f"({self.left.canonical(parameterize)} {op} "
+            f"{self.right.canonical(parameterize)})"
+        )
+
+    def contains_aggregate(self) -> bool:
+        return self.left.contains_aggregate() or self.right.contains_aggregate()
+
+
+class Between(Expression):
+    """SQL ``x BETWEEN low AND high`` (inclusive bounds)."""
+
+    __slots__ = ("operand", "low", "high")
+
+    def __init__(self, operand: Expression, low: Expression, high: Expression) -> None:
+        self.operand = operand
+        self.low = low
+        self.high = high
+
+    def evaluate(self, row: Row, schema: Schema) -> bool | None:
+        value = self.operand.evaluate(row, schema)
+        low = self.low.evaluate(row, schema)
+        high = self.high.evaluate(row, schema)
+        if value is None or low is None or high is None:
+            return None
+        return low <= value <= high
+
+    def columns(self) -> set[str]:
+        return self.operand.columns() | self.low.columns() | self.high.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Between":
+        return Between(
+            self.operand.rename(mapping), self.low.rename(mapping), self.high.rename(mapping)
+        )
+
+    def canonical(self, parameterize: bool = False) -> str:
+        return (
+            f"({self.operand.canonical(parameterize)} BETWEEN "
+            f"{self.low.canonical(parameterize)} AND {self.high.canonical(parameterize)})"
+        )
+
+    def contains_aggregate(self) -> bool:
+        return (
+            self.operand.contains_aggregate()
+            or self.low.contains_aggregate()
+            or self.high.contains_aggregate()
+        )
+
+
+class IsNull(Expression):
+    """SQL ``x IS [NOT] NULL``."""
+
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: Expression, negated: bool = False) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        value = self.operand.evaluate(row, schema)
+        result = value is None
+        return not result if self.negated else result
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> "IsNull":
+        return IsNull(self.operand.rename(mapping), self.negated)
+
+    def canonical(self, parameterize: bool = False) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.canonical(parameterize)} {suffix})"
+
+    def contains_aggregate(self) -> bool:
+        return self.operand.contains_aggregate()
+
+
+class LogicalOp(Expression):
+    """N-ary AND / OR with SQL three-valued logic."""
+
+    __slots__ = ("op", "operands")
+
+    def __init__(self, op: str, operands: Sequence[Expression]) -> None:
+        op = op.upper()
+        if op not in ("AND", "OR"):
+            raise UnsupportedOperationError(f"unsupported logical operator {op!r}")
+        if not operands:
+            raise SchemaError("logical operator requires at least one operand")
+        self.op = op
+        self.operands = tuple(operands)
+
+    def evaluate(self, row: Row, schema: Schema) -> bool | None:
+        values = [operand.evaluate(row, schema) for operand in self.operands]
+        if self.op == "AND":
+            if any(value is False for value in values):
+                return False
+            if any(value is None for value in values):
+                return None
+            return True
+        if any(value is True for value in values):
+            return True
+        if any(value is None for value in values):
+            return None
+        return False
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "LogicalOp":
+        return LogicalOp(self.op, [operand.rename(mapping) for operand in self.operands])
+
+    def canonical(self, parameterize: bool = False) -> str:
+        inner = f" {self.op} ".join(op.canonical(parameterize) for op in self.operands)
+        return f"({inner})"
+
+    def contains_aggregate(self) -> bool:
+        return any(operand.contains_aggregate() for operand in self.operands)
+
+
+class Not(Expression):
+    """Logical negation with SQL three-valued logic."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: Row, schema: Schema) -> bool | None:
+        value = self.operand.evaluate(row, schema)
+        if value is None:
+            return None
+        return not value
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Not":
+        return Not(self.operand.rename(mapping))
+
+    def canonical(self, parameterize: bool = False) -> str:
+        return f"(NOT {self.operand.canonical(parameterize)})"
+
+    def contains_aggregate(self) -> bool:
+        return self.operand.contains_aggregate()
+
+
+AGGREGATE_FUNCTIONS = frozenset({"sum", "count", "avg", "min", "max"})
+
+_SCALAR_FUNCTIONS = {
+    "abs": lambda args: abs(args[0]) if args[0] is not None else None,
+    "round": lambda args: round(args[0], int(args[1]) if len(args) > 1 else 0)
+    if args[0] is not None
+    else None,
+    "coalesce": lambda args: next((a for a in args if a is not None), None),
+    "to_date": lambda args: args[0],
+    "lower": lambda args: args[0].lower() if isinstance(args[0], str) else args[0],
+    "upper": lambda args: args[0].upper() if isinstance(args[0], str) else args[0],
+}
+
+
+class FunctionCall(Expression):
+    """A function call -- either an aggregate or a scalar function.
+
+    Aggregate calls (``sum``, ``count``, ``avg``, ``min``, ``max``) are never
+    evaluated directly: the SQL translator rewrites plans so aggregation
+    operators compute them and downstream expressions reference the result via
+    a :class:`ColumnRef`.  Evaluating an aggregate call on a single row raises.
+    """
+
+    __slots__ = ("name", "args", "star")
+
+    def __init__(self, name: str, args: Sequence[Expression], star: bool = False) -> None:
+        self.name = name.lower()
+        self.args = tuple(args)
+        self.star = star
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this is one of the supported aggregate functions."""
+        return self.name in AGGREGATE_FUNCTIONS
+
+    def evaluate(self, row: Row, schema: Schema) -> Any:
+        if self.is_aggregate:
+            raise UnsupportedOperationError(
+                f"aggregate {self.name}() cannot be evaluated per-row; "
+                "the translator must place it in an Aggregation operator"
+            )
+        handler = _SCALAR_FUNCTIONS.get(self.name)
+        if handler is None:
+            raise UnsupportedOperationError(f"unsupported scalar function {self.name!r}")
+        return handler([arg.evaluate(row, schema) for arg in self.args])
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for arg in self.args:
+            result |= arg.columns()
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "FunctionCall":
+        return FunctionCall(self.name, [arg.rename(mapping) for arg in self.args], self.star)
+
+    def canonical(self, parameterize: bool = False) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(arg.canonical(parameterize) for arg in self.args)
+        return f"{self.name}({inner})"
+
+    def contains_aggregate(self) -> bool:
+        return self.is_aggregate or any(arg.contains_aggregate() for arg in self.args)
+
+
+def conjuncts(expression: Expression | None) -> list[Expression]:
+    """Split an expression into its top-level AND conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, LogicalOp) and expression.op == "AND":
+        result: list[Expression] = []
+        for operand in expression.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [expression]
+
+
+def conjunction(expressions: Sequence[Expression]) -> Expression | None:
+    """Combine expressions with AND; returns None for an empty sequence."""
+    expressions = [e for e in expressions if e is not None]
+    if not expressions:
+        return None
+    if len(expressions) == 1:
+        return expressions[0]
+    return LogicalOp("AND", expressions)

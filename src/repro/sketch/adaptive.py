@@ -1,0 +1,189 @@
+"""Adaptive re-partitioning of sketch ranges.
+
+Sec. 7.4 of the paper: "If a significant fraction of the data in a relation is
+updated, then this can lead to an imbalance in the amount of data per range and
+in turn to a degradation of the performance of sketches over time. ... we could
+track estimates of the number of tuples per range and split or merge ranges
+that under- or overflow.  If a range ρ is split into two ranges ρ1 and ρ2 then
+any sketch containing ρ would then be updated to contain ρ1 and ρ2.  If two
+ranges ρ1 and ρ2 are merged ... any sketch containing either is updated to
+contain ρ instead."
+
+:class:`PartitionMonitor` implements exactly that policy: it tracks per-range
+tuple counts from the deltas flowing through IMP, detects ranges that have
+grown far beyond (or shrunk far below) the average fragment size, produces a
+re-balanced partition, and translates existing sketches onto it via
+:meth:`~repro.sketch.sketch.ProvenanceSketch.rebase` (which keeps them sound
+over-approximations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import SketchError
+from repro.sketch.ranges import DatabasePartition, RangePartition
+from repro.sketch.sketch import ProvenanceSketch
+from repro.storage.delta import Delta
+
+
+@dataclass
+class RebalanceDecision:
+    """Outcome of checking one table's partition for imbalance."""
+
+    table: str
+    split_indices: list[int] = field(default_factory=list)
+    merge_indices: list[int] = field(default_factory=list)
+
+    @property
+    def needs_rebalance(self) -> bool:
+        return bool(self.split_indices or self.merge_indices)
+
+
+class PartitionMonitor:
+    """Tracks per-fragment tuple counts and proposes partition re-balancing.
+
+    Parameters
+    ----------
+    partition:
+        The database partition whose fragments are monitored.
+    overflow_factor:
+        A fragment whose count exceeds ``overflow_factor`` times the average
+        fragment count is a split candidate.
+    underflow_factor:
+        A fragment whose count falls below ``underflow_factor`` times the
+        average is a merge candidate (merged with its right neighbour).
+    """
+
+    def __init__(
+        self,
+        partition: DatabasePartition,
+        overflow_factor: float = 4.0,
+        underflow_factor: float = 0.1,
+    ) -> None:
+        if overflow_factor <= 1.0:
+            raise SketchError("overflow_factor must be greater than 1")
+        if not 0.0 <= underflow_factor < 1.0:
+            raise SketchError("underflow_factor must be in [0, 1)")
+        self.partition = partition
+        self.overflow_factor = overflow_factor
+        self.underflow_factor = underflow_factor
+        self._counts: dict[str, list[int]] = {
+            table_partition.table: [0] * table_partition.num_fragments
+            for table_partition in partition
+        }
+
+    # -- count tracking ----------------------------------------------------------
+
+    def seed_from_table(self, table: str, values: list[float]) -> None:
+        """Initialise the counts of ``table`` from its current attribute values."""
+        table = table.lower()
+        table_partition = self.partition.partition_of(table)
+        counts = [0] * table_partition.num_fragments
+        for value in values:
+            if value is None:
+                continue
+            counts[table_partition.fragment_of(value)] += 1
+        self._counts[table] = counts
+
+    def observe_delta(self, table: str, delta: Delta) -> None:
+        """Update the per-fragment counts from a table delta."""
+        table = table.lower()
+        if table not in self._counts:
+            return
+        table_partition = self.partition.partition_of(table)
+        attribute_index = delta.schema.index_of(table_partition.attribute)
+        counts = self._counts[table]
+        for row, multiplicity in delta.inserts():
+            value = row[attribute_index]
+            if value is not None:
+                counts[table_partition.fragment_of(value)] += multiplicity
+        for row, multiplicity in delta.deletes():
+            value = row[attribute_index]
+            if value is not None:
+                index = table_partition.fragment_of(value)
+                counts[index] = max(0, counts[index] - multiplicity)
+
+    def fragment_counts(self, table: str) -> list[int]:
+        """Current per-fragment tuple-count estimates for ``table``."""
+        return list(self._counts[table.lower()])
+
+    # -- rebalancing decisions ------------------------------------------------------
+
+    def check(self, table: str) -> RebalanceDecision:
+        """Identify fragments of ``table`` that should be split or merged."""
+        table = table.lower()
+        counts = self._counts[table]
+        decision = RebalanceDecision(table)
+        total = sum(counts)
+        if total == 0 or len(counts) < 2:
+            return decision
+        average = total / len(counts)
+        for index, count in enumerate(counts):
+            if count > average * self.overflow_factor:
+                decision.split_indices.append(index)
+            elif count < average * self.underflow_factor and index + 1 < len(counts):
+                decision.merge_indices.append(index)
+        # Avoid proposing a merge of a fragment that is also being split.
+        decision.merge_indices = [
+            index
+            for index in decision.merge_indices
+            if index not in decision.split_indices and index + 1 not in decision.split_indices
+        ]
+        return decision
+
+    def rebalanced_partition(self, table: str) -> RangePartition:
+        """Return a new partition for ``table`` with the proposed changes applied."""
+        table = table.lower()
+        decision = self.check(table)
+        partition = self.partition.partition_of(table)
+        if not decision.needs_rebalance:
+            return partition
+        # Apply splits from the highest index down so earlier indices stay valid,
+        # then merges (also from the highest index down).
+        for index in sorted(decision.split_indices, reverse=True):
+            partition = partition.split_range(index)
+        for index in sorted(decision.merge_indices, reverse=True):
+            if index + 1 < partition.num_fragments:
+                partition = partition.merge_ranges(index)
+        return partition
+
+    def rebalance(
+        self, sketches: list[ProvenanceSketch]
+    ) -> tuple[DatabasePartition, list[ProvenanceSketch]]:
+        """Build a re-balanced database partition and rebase the given sketches.
+
+        Returns the new partition and the translated sketches (in the same
+        order).  The monitor's own counts are re-seeded approximately by
+        splitting / merging the tracked counts alongside the ranges.
+        """
+        new_partition = DatabasePartition()
+        for table_partition in self.partition:
+            new_partition.add(self.rebalanced_partition(table_partition.table))
+        rebased = [sketch.rebase(new_partition) for sketch in sketches]
+        self._reseed_counts(new_partition)
+        self.partition = new_partition
+        return new_partition, rebased
+
+    def _reseed_counts(self, new_partition: DatabasePartition) -> None:
+        new_counts: dict[str, list[int]] = {}
+        for table_partition in new_partition:
+            table = table_partition.table
+            old_partition = self.partition.partition_of(table)
+            old_counts = self._counts[table]
+            counts = [0] * table_partition.num_fragments
+            for old_index, count in enumerate(old_counts):
+                old_range = old_partition.range_at(old_index)
+                # Distribute the old count over the overlapping new fragments.
+                overlapping = [
+                    candidate.index
+                    for candidate in table_partition.ranges()
+                    if candidate.low < old_range.high and old_range.low < candidate.high
+                ]
+                if not overlapping:
+                    continue
+                share, remainder = divmod(count, len(overlapping))
+                for position, new_index in enumerate(overlapping):
+                    counts[new_index] += share + (1 if position < remainder else 0)
+            new_counts[table] = counts
+        self._counts = new_counts

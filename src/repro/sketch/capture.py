@@ -1,0 +1,308 @@
+"""Sketch capture: evaluating queries under annotated semantics.
+
+To capture a sketch for a query the paper runs an instrumented *capture query*
+that propagates coarse-grained provenance (the range each input tuple belongs
+to) through the operators of the query and finally unions the annotations of
+all result tuples into a sketch.  :class:`AnnotatedEvaluator` implements that
+instrumented evaluation directly over logical plans; it is used
+
+* to capture new sketches (blue pipeline in Fig. 2),
+* by the full-maintenance baseline, which recaptures the sketch from scratch,
+* and by the incremental engine to initialise operator state and to evaluate
+  the non-delta side of joins outsourced to the backend.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.bitset import BitSet
+from repro.core.errors import PlanError
+from repro.relational.algebra import (
+    Aggregation,
+    Distinct,
+    Join,
+    PlanNode,
+    Projection,
+    Selection,
+    TableScan,
+    TopK,
+)
+from repro.relational.evaluator import RelationProvider, compute_aggregate, order_sort_key
+from repro.relational.schema import Relation, Row, Schema
+from repro.sketch.ranges import DatabasePartition
+from repro.sketch.sketch import ProvenanceSketch
+
+
+class AnnotatedRelation:
+    """A bag of sketch-annotated tuples ``⟨t, P⟩`` (paper Def. 4.3).
+
+    Entries are keyed by ``(row, annotation)`` so equal tuples with different
+    provenance stay distinct, which the merge operator's reference counts rely
+    on.
+    """
+
+    __slots__ = ("schema", "_entries")
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._entries: dict[tuple[Row, BitSet], int] = {}
+
+    def add(self, row: Row, annotation: BitSet, multiplicity: int = 1) -> None:
+        """Add ``multiplicity`` copies of the annotated tuple."""
+        if multiplicity <= 0:
+            return
+        key = (tuple(row), annotation)
+        self._entries[key] = self._entries.get(key, 0) + multiplicity
+
+    def items(self) -> Iterator[tuple[Row, BitSet, int]]:
+        """Iterate over ``(row, annotation, multiplicity)`` triples."""
+        for (row, annotation), multiplicity in self._entries.items():
+            yield row, annotation, multiplicity
+
+    def __len__(self) -> int:
+        """Total number of annotated tuples (counting duplicates)."""
+        return sum(self._entries.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def distinct_count(self) -> int:
+        """Number of distinct annotated tuples."""
+        return len(self._entries)
+
+    def to_relation(self) -> Relation:
+        """Drop annotations (the paper's tuple-extraction function ``T``)."""
+        result = Relation(self.schema)
+        for row, _annotation, multiplicity in self.items():
+            result.add(row, multiplicity)
+        return result
+
+    def combined_annotation(self) -> BitSet:
+        """Union of all annotations (the ``S(F(...))`` of the correctness proof)."""
+        combined = BitSet()
+        for _row, annotation, _multiplicity in self.items():
+            combined.update(annotation)
+        return combined
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AnnotatedRelation(rows={len(self)}, distinct={self.distinct_count()})"
+
+
+class AnnotatedEvaluator:
+    """Evaluate logical plans propagating provenance-sketch annotations."""
+
+    def __init__(self, provider: RelationProvider, partition: DatabasePartition) -> None:
+        self._provider = provider
+        self._partition = partition
+
+    # -- public API ------------------------------------------------------------------
+
+    def evaluate(self, plan: PlanNode) -> AnnotatedRelation:
+        """Evaluate ``plan`` under annotated semantics."""
+        return self._evaluate(plan)
+
+    def capture(self, plan: PlanNode) -> ProvenanceSketch:
+        """Capture the provenance sketch of ``plan`` over the current database."""
+        result = self.evaluate(plan)
+        return ProvenanceSketch(self._partition, result.combined_annotation())
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def _evaluate(self, node: PlanNode) -> AnnotatedRelation:
+        if isinstance(node, TableScan):
+            return self._table_scan(node)
+        if isinstance(node, Selection):
+            return self._selection(node)
+        if isinstance(node, Projection):
+            return self._projection(node)
+        if isinstance(node, Join):
+            return self._join(node)
+        if isinstance(node, Aggregation):
+            return self._aggregation(node)
+        if isinstance(node, Distinct):
+            return self._distinct(node)
+        if isinstance(node, TopK):
+            return self._top_k(node)
+        raise PlanError(
+            f"annotated evaluation does not support plan node {type(node).__name__}"
+        )
+
+    # -- operators ---------------------------------------------------------------------
+
+    def _table_scan(self, node: TableScan) -> AnnotatedRelation:
+        base = self._provider.relation(node.table)
+        schema = base.schema.qualify(node.alias)
+        result = AnnotatedRelation(schema)
+        partitioned = self._partition.has_table(node.table)
+        if partitioned:
+            partition = self._partition.partition_of(node.table)
+            attribute_index = base.schema.index_of(partition.attribute)
+        for row, multiplicity in base.items():
+            annotation = BitSet()
+            if partitioned:
+                value = row[attribute_index]
+                if value is not None:
+                    annotation.add(self._partition.fragment_of(node.table, value))
+            result.add(row, annotation, multiplicity)
+        return result
+
+    def _selection(self, node: Selection) -> AnnotatedRelation:
+        child = self._evaluate(node.child)
+        result = AnnotatedRelation(child.schema)
+        for row, annotation, multiplicity in child.items():
+            if node.predicate.evaluate(row, child.schema) is True:
+                result.add(row, annotation, multiplicity)
+        return result
+
+    def _projection(self, node: Projection) -> AnnotatedRelation:
+        child = self._evaluate(node.child)
+        schema = Schema(item.alias for item in node.items)
+        result = AnnotatedRelation(schema)
+        for row, annotation, multiplicity in child.items():
+            projected = tuple(
+                item.expression.evaluate(row, child.schema) for item in node.items
+            )
+            result.add(projected, annotation, multiplicity)
+        return result
+
+    def _join(self, node: Join) -> AnnotatedRelation:
+        left = self._evaluate(node.left)
+        right = self._evaluate(node.right)
+        schema = left.schema.concat(right.schema)
+        result = AnnotatedRelation(schema)
+        keys = node.equi_join_keys()
+        if keys is not None:
+            left_keys, right_keys = self._resolve_keys(keys, left.schema, right.schema)
+            if left_keys is not None and right_keys is not None:
+                right_positions = [right.schema.index_of(k) for k in right_keys]
+                left_positions = [left.schema.index_of(k) for k in left_keys]
+                index: dict[tuple, list[tuple[Row, BitSet, int]]] = {}
+                for row, annotation, multiplicity in right.items():
+                    key = tuple(row[p] for p in right_positions)
+                    index.setdefault(key, []).append((row, annotation, multiplicity))
+                for row, annotation, multiplicity in left.items():
+                    key = tuple(row[p] for p in left_positions)
+                    for other_row, other_annotation, other_mult in index.get(key, ()):
+                        combined = row + other_row
+                        if node.condition is None or node.condition.evaluate(
+                            combined, schema
+                        ) is True:
+                            result.add(
+                                combined,
+                                annotation | other_annotation,
+                                multiplicity * other_mult,
+                            )
+                return result
+        for left_row, left_annotation, left_mult in left.items():
+            for right_row, right_annotation, right_mult in right.items():
+                combined = left_row + right_row
+                if node.condition is None or node.condition.evaluate(combined, schema) is True:
+                    result.add(
+                        combined, left_annotation | right_annotation, left_mult * right_mult
+                    )
+        return result
+
+    @staticmethod
+    def _resolve_keys(
+        keys: tuple[list[str], list[str]], left: Schema, right: Schema
+    ) -> tuple[list[str] | None, list[str] | None]:
+        first, second = keys
+        if all(left.has(k) for k in first) and all(right.has(k) for k in second):
+            return first, second
+        if all(left.has(k) for k in second) and all(right.has(k) for k in first):
+            return second, first
+        return None, None
+
+    def _aggregation(self, node: Aggregation) -> AnnotatedRelation:
+        child = self._evaluate(node.child)
+        schema = node.output_schema(self._provider)  # type: ignore[arg-type]
+        groups: dict[tuple, dict[str, object]] = {}
+        for row, annotation, multiplicity in child.items():
+            key = tuple(expr.evaluate(row, child.schema) for expr in node.group_by)
+            group = groups.setdefault(key, {"rows": [], "annotation": BitSet()})
+            group["rows"].append((row, multiplicity))  # type: ignore[union-attr]
+            group["annotation"].update(annotation)  # type: ignore[union-attr]
+        result = AnnotatedRelation(schema)
+        if not groups and not node.group_by:
+            values = tuple(
+                self._aggregate(node, agg_index, [], child.schema)
+                for agg_index in range(len(node.aggregates))
+            )
+            result.add(values, BitSet(), 1)
+            return result
+        for key, group in groups.items():
+            rows = group["rows"]
+            values = tuple(
+                self._aggregate(node, agg_index, rows, child.schema)  # type: ignore[arg-type]
+                for agg_index in range(len(node.aggregates))
+            )
+            result.add(key + values, group["annotation"], 1)  # type: ignore[arg-type]
+        return result
+
+    @staticmethod
+    def _aggregate(
+        node: Aggregation, agg_index: int, rows: list[tuple[Row, int]], schema: Schema
+    ) -> object:
+        aggregate = node.aggregates[agg_index]
+        if aggregate.argument is None:
+            return sum(multiplicity for _row, multiplicity in rows)
+        values = (
+            (aggregate.argument.evaluate(row, schema), multiplicity)
+            for row, multiplicity in rows
+        )
+        return compute_aggregate(aggregate.function, values)
+
+    def _distinct(self, node: Distinct) -> AnnotatedRelation:
+        child = self._evaluate(node.child)
+        result = AnnotatedRelation(child.schema)
+        merged: dict[Row, BitSet] = {}
+        for row, annotation, _multiplicity in child.items():
+            existing = merged.get(row)
+            if existing is None:
+                merged[row] = annotation.copy()
+            else:
+                existing.update(annotation)
+        for row, annotation in merged.items():
+            result.add(row, annotation, 1)
+        return result
+
+    def _top_k(self, node: TopK) -> AnnotatedRelation:
+        child = self._evaluate(node.child)
+        entries = sorted(
+            child.items(),
+            key=lambda entry: self._order_key(node, entry[0], child.schema),
+        )
+        result = AnnotatedRelation(child.schema)
+        remaining = node.k
+        for row, annotation, multiplicity in entries:
+            if remaining <= 0:
+                break
+            take = min(multiplicity, remaining)
+            result.add(row, annotation, take)
+            remaining -= take
+        return result
+
+    @staticmethod
+    def _order_key(node: TopK, row: Row, schema: Schema) -> tuple:
+        values = []
+        for item in node.order_by:
+            value = item.expression.evaluate(row, schema)
+            values.append(value)
+        key = list(order_sort_key(tuple(values)))
+        adjusted = []
+        for (tag, value), item in zip(key, node.order_by):
+            if item.ascending:
+                adjusted.append((tag, value))
+            elif isinstance(value, (int, float)):
+                adjusted.append((-tag, -value))
+            else:
+                adjusted.append((-tag, value))
+        return tuple(adjusted)
+
+
+def capture_sketch(
+    plan: PlanNode, partition: DatabasePartition, provider: RelationProvider
+) -> ProvenanceSketch:
+    """Capture a provenance sketch for ``plan`` over the current database state."""
+    return AnnotatedEvaluator(provider, partition).capture(plan)

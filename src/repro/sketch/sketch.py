@@ -1,0 +1,245 @@
+"""Provenance sketches and sketch deltas.
+
+A provenance sketch (paper Def. 4.2) is a subset of the ranges of a database
+partition ``Φ`` whose fragments cover the provenance of a query.  Sketches are
+encoded as bitvectors over the global fragment identifiers of the partition
+(Sec. 7.1) which keeps them small -- hundreds of bytes even for partitions
+with tens of thousands of ranges (Fig. 18).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.core.bitset import BitSet
+from repro.core.errors import SketchError
+from repro.sketch.ranges import DatabasePartition, Range
+
+
+@dataclass(frozen=True)
+class SketchDelta:
+    """Changes to a sketch: global fragment ids to insert and to delete."""
+
+    added: frozenset[int] = frozenset()
+    removed: frozenset[int] = frozenset()
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    @staticmethod
+    def empty() -> "SketchDelta":
+        """A delta that changes nothing."""
+        return SketchDelta()
+
+    def merge(self, other: "SketchDelta") -> "SketchDelta":
+        """Compose two deltas applied in sequence (later wins on conflicts)."""
+        added = (set(self.added) - set(other.removed)) | set(other.added)
+        removed = (set(self.removed) - set(other.added)) | set(other.removed)
+        return SketchDelta(frozenset(added), frozenset(removed))
+
+
+class ProvenanceSketch:
+    """A provenance sketch over a :class:`DatabasePartition`.
+
+    Sketches are treated as immutable by IMP's middleware (new versions are
+    created by :meth:`apply_delta`), but the class also offers in-place
+    mutation for the internal bookkeeping of the incremental engine.
+    """
+
+    def __init__(
+        self,
+        partition: DatabasePartition,
+        fragments: Iterable[int] | BitSet | None = None,
+    ) -> None:
+        self.partition = partition
+        if isinstance(fragments, BitSet):
+            self._fragments = fragments.copy()
+        else:
+            self._fragments = BitSet(fragments or ())
+        max_bit = self._fragments.max_bit()
+        if max_bit >= partition.total_fragments:
+            raise SketchError(
+                f"fragment id {max_bit} outside partition with "
+                f"{partition.total_fragments} fragments"
+            )
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, partition: DatabasePartition) -> "ProvenanceSketch":
+        """An empty sketch (covers no data)."""
+        return cls(partition)
+
+    @classmethod
+    def full(cls, partition: DatabasePartition) -> "ProvenanceSketch":
+        """A sketch containing every fragment (covers the entire database)."""
+        return cls(partition, range(partition.total_fragments))
+
+    def copy(self) -> "ProvenanceSketch":
+        """An independent copy."""
+        return ProvenanceSketch(self.partition, self._fragments.copy())
+
+    # -- membership ----------------------------------------------------------------
+
+    def add(self, global_id: int) -> None:
+        """Add a fragment by global id."""
+        if global_id >= self.partition.total_fragments:
+            raise SketchError(f"fragment id {global_id} outside the partition")
+        self._fragments.add(global_id)
+
+    def add_fragment(self, table: str, fragment_index: int) -> None:
+        """Add a fragment identified by table and local index."""
+        self.add(self.partition.global_id(table, fragment_index))
+
+    def discard(self, global_id: int) -> None:
+        """Remove a fragment by global id (no error when absent)."""
+        self._fragments.discard(global_id)
+
+    def __contains__(self, global_id: int) -> bool:
+        return global_id in self._fragments
+
+    def contains_fragment(self, table: str, fragment_index: int) -> bool:
+        """Whether the fragment of ``table`` with local index is in the sketch."""
+        return self.partition.global_id(table, fragment_index) in self._fragments
+
+    def __len__(self) -> int:
+        """Number of fragments in the sketch."""
+        return len(self._fragments)
+
+    def __bool__(self) -> bool:
+        return bool(self._fragments)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProvenanceSketch):
+            return NotImplemented
+        return self.partition is other.partition and self._fragments == other._fragments
+
+    def __hash__(self) -> int:  # pragma: no cover - sketches are not dict keys
+        return hash((id(self.partition), self._fragments))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProvenanceSketch({sorted(self._fragments)})"
+
+    def fragment_ids(self) -> Iterator[int]:
+        """Iterate over global fragment ids in the sketch."""
+        return iter(self._fragments)
+
+    def bitset(self) -> BitSet:
+        """A copy of the underlying bitvector."""
+        return self._fragments.copy()
+
+    # -- per-table views ---------------------------------------------------------------
+
+    def ranges_for(self, table: str) -> list[Range]:
+        """The ranges of ``table`` contained in the sketch."""
+        if not self.partition.has_table(table):
+            return []
+        partition = self.partition.partition_of(table)
+        result = []
+        for local_index in range(partition.num_fragments):
+            if self.contains_fragment(table, local_index):
+                result.append(partition.range_at(local_index))
+        return result
+
+    def merged_ranges_for(self, table: str) -> list[tuple[float, float, bool]]:
+        """Sketch ranges of ``table`` with adjacent ranges coalesced.
+
+        Returns ``(low, high, closed_high)`` triples; the use rewrite turns
+        each into one BETWEEN condition (footnote 2 of the paper).
+        """
+        ranges = self.ranges_for(table)
+        if not ranges:
+            return []
+        merged: list[tuple[float, float, bool]] = []
+        current_low, current_high, current_closed = (
+            ranges[0].low,
+            ranges[0].high,
+            ranges[0].closed_high,
+        )
+        previous_index = ranges[0].index
+        for entry in ranges[1:]:
+            if entry.index == previous_index + 1:
+                current_high = entry.high
+                current_closed = entry.closed_high
+            else:
+                merged.append((current_low, current_high, current_closed))
+                current_low, current_high, current_closed = (
+                    entry.low,
+                    entry.high,
+                    entry.closed_high,
+                )
+            previous_index = entry.index
+        merged.append((current_low, current_high, current_closed))
+        return merged
+
+    # -- set relations -------------------------------------------------------------------
+
+    def union(self, other: "ProvenanceSketch") -> "ProvenanceSketch":
+        """Union of two sketches over the same partition."""
+        self._check_same_partition(other)
+        return ProvenanceSketch(self.partition, self._fragments | other._fragments)
+
+    def is_superset_of(self, other: "ProvenanceSketch") -> bool:
+        """Whether this sketch over-approximates ``other``."""
+        self._check_same_partition(other)
+        return self._fragments.issuperset(other._fragments)
+
+    def covers(self, table: str, value: float) -> bool:
+        """Whether the tuple with ``value`` in the partition attribute is covered."""
+        return self.partition.fragment_of(table, value) in self._fragments
+
+    def _check_same_partition(self, other: "ProvenanceSketch") -> None:
+        if self.partition is not other.partition:
+            raise SketchError("sketches are defined over different partitions")
+
+    # -- deltas --------------------------------------------------------------------------
+
+    def delta_to(self, other: "ProvenanceSketch") -> SketchDelta:
+        """The delta that transforms this sketch into ``other``."""
+        self._check_same_partition(other)
+        added = frozenset(other._fragments.difference(self._fragments))
+        removed = frozenset(self._fragments.difference(other._fragments))
+        return SketchDelta(added, removed)
+
+    def apply_delta(self, delta: SketchDelta) -> "ProvenanceSketch":
+        """Return a new sketch with ``delta`` applied (sketches are immutable)."""
+        result = self.copy()
+        for fragment in delta.removed:
+            result.discard(fragment)
+        for fragment in delta.added:
+            result.add(fragment)
+        return result
+
+    # -- memory ---------------------------------------------------------------------------
+
+    def byte_size(self) -> int:
+        """Physical size of the sketch bitvector in bytes (Fig. 18)."""
+        width = (self.partition.total_fragments + 7) // 8
+        return max(width, 1) + 8
+
+    # -- re-partitioning ---------------------------------------------------------------------
+
+    def rebase(self, new_partition: DatabasePartition) -> "ProvenanceSketch":
+        """Translate the sketch onto a re-partitioned ``Φ`` (Sec. 7.4).
+
+        A fragment of the old partition maps to every fragment of the new
+        partition whose range overlaps it, which keeps the sketch an
+        over-approximation after ranges are split or merged.
+        """
+        result = ProvenanceSketch.empty(new_partition)
+        for global_id in self._fragments:
+            table, local_index = self.partition.resolve(global_id)
+            if not new_partition.has_table(table):
+                continue
+            old_range = self.partition.partition_of(table).range_at(local_index)
+            new_table_partition = new_partition.partition_of(table)
+            for candidate in new_table_partition.ranges():
+                overlaps = candidate.low < old_range.high and old_range.low < candidate.high
+                touches = candidate.low == old_range.low or candidate.high == old_range.high
+                if overlaps or touches:
+                    result.add_fragment(table, candidate.index)
+        return result

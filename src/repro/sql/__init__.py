@@ -1,0 +1,42 @@
+"""SQL frontend: lexer, parser, AST and translation to relational algebra.
+
+IMP operates as a middleware that receives SQL queries and updates (paper
+Fig. 2).  The frontend supports the SQL subset used by the paper's workloads
+(Appendix A): SELECT-FROM-WHERE with explicit ``JOIN ... ON`` or comma-style
+joins, GROUP BY, HAVING, ORDER BY, LIMIT, plus simple INSERT/DELETE statements
+for the update side of mixed workloads.
+"""
+
+from repro.sql.ast import (
+    DeleteStatement,
+    InsertStatement,
+    JoinSource,
+    OrderSpec,
+    SelectItem,
+    SelectStatement,
+    SubquerySource,
+    TableSource,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse_select, parse_statement
+from repro.sql.template import QueryTemplate, template_of
+from repro.sql.translator import Translator, translate
+
+__all__ = [
+    "DeleteStatement",
+    "InsertStatement",
+    "JoinSource",
+    "OrderSpec",
+    "QueryTemplate",
+    "SelectItem",
+    "SelectStatement",
+    "SubquerySource",
+    "TableSource",
+    "Token",
+    "Translator",
+    "parse_select",
+    "parse_statement",
+    "template_of",
+    "tokenize",
+    "translate",
+]

@@ -1,0 +1,94 @@
+"""SQL abstract syntax tree.
+
+The AST is a faithful, resolution-free representation of the parsed statement;
+name resolution and plan construction happen in :mod:`repro.sql.translator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.relational.expressions import Expression
+
+
+@dataclass
+class SelectItem:
+    """One entry of the SELECT list: an expression with an optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+
+@dataclass
+class OrderSpec:
+    """One ORDER BY key with direction."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass
+class TableSource:
+    """A base table reference in the FROM clause."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubquerySource:
+    """A parenthesised subquery in the FROM clause (must be aliased)."""
+
+    query: "SelectStatement"
+    alias: str
+
+
+@dataclass
+class JoinSource:
+    """An explicit ``left JOIN right ON condition`` source."""
+
+    left: "FromSource"
+    right: "FromSource"
+    condition: Expression | None
+
+
+FromSource = Union[TableSource, SubquerySource, JoinSource]
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT statement."""
+
+    select_items: list[SelectItem]
+    from_sources: list[FromSource]
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderSpec] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass
+class InsertStatement:
+    """``INSERT INTO table [(columns)] VALUES (...), (...)``."""
+
+    table: str
+    columns: list[str]
+    rows: list[tuple]
+
+
+@dataclass
+class DeleteStatement:
+    """``DELETE FROM table [WHERE condition]``."""
+
+    table: str
+    where: Expression | None = None
+
+
+Statement = Union[SelectStatement, InsertStatement, DeleteStatement]

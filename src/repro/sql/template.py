@@ -1,0 +1,93 @@
+"""Query templates.
+
+IMP stores sketches in a hash table keyed by a *query template*: a version of
+the query where constants in selection conditions are replaced by placeholders
+(paper Sec. 7.1).  Two queries that only differ in those constants share the
+same key, which lets IMP pre-filter candidate sketches before applying the
+reuse check from provenance-based data skipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.ast import (
+    FromSource,
+    JoinSource,
+    SelectStatement,
+    SubquerySource,
+    TableSource,
+)
+from repro.sql.parser import parse_select
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A canonical, constant-free rendering of a query used as a sketch key."""
+
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text
+
+
+def template_of(query: str | SelectStatement) -> QueryTemplate:
+    """Compute the template of a SQL string or parsed SELECT statement."""
+    statement = parse_select(query) if isinstance(query, str) else query
+    return QueryTemplate(_render_statement(statement))
+
+
+def _render_statement(statement: SelectStatement) -> str:
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(
+        ", ".join(
+            item.expression.canonical(parameterize=True)
+            + (f" AS {item.alias}" if item.alias else "")
+            for item in statement.select_items
+        )
+    )
+    parts.append("FROM")
+    parts.append(", ".join(_render_source(source) for source in statement.from_sources))
+    if statement.where is not None:
+        parts.append("WHERE " + statement.where.canonical(parameterize=True))
+    if statement.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(e.canonical(parameterize=True) for e in statement.group_by)
+        )
+    if statement.having is not None:
+        parts.append("HAVING " + statement.having.canonical(parameterize=True))
+    if statement.order_by:
+        parts.append(
+            "ORDER BY "
+            + ", ".join(
+                spec.expression.canonical(parameterize=True)
+                + ("" if spec.ascending else " DESC")
+                for spec in statement.order_by
+            )
+        )
+    if statement.limit is not None:
+        # The value of k matters for sketch reuse of top-k queries, so it is
+        # kept in the template rather than parameterised away.
+        parts.append(f"LIMIT {statement.limit}")
+    return " ".join(parts)
+
+
+def _render_source(source: FromSource) -> str:
+    if isinstance(source, TableSource):
+        if source.alias and source.alias != source.name:
+            return f"{source.name} AS {source.alias}"
+        return source.name
+    if isinstance(source, SubquerySource):
+        inner = _render_statement(source.query)
+        alias = source.alias or "_"
+        return f"({inner}) AS {alias}"
+    if isinstance(source, JoinSource):
+        left = _render_source(source.left)
+        right = _render_source(source.right)
+        condition = (
+            source.condition.canonical(parameterize=True) if source.condition else "TRUE"
+        )
+        return f"({left} JOIN {right} ON {condition})"
+    raise TypeError(f"unsupported FROM source {type(source).__name__}")

@@ -1,0 +1,35 @@
+"""In-memory versioned backend database.
+
+This package is the substitute for the Postgres backend used in the paper's
+experiments.  It provides exactly the services IMP needs from a backend
+(paper Sec. 2 and 7):
+
+* storing base tables and answering relational algebra / SQL queries
+  (:class:`repro.storage.database.Database`),
+* tracking database versions via snapshot identifiers and extracting the
+  delta between two versions from an audit log
+  (:class:`repro.storage.snapshots.AuditLog`),
+* evaluating join deltas ``ΔR ⋈ S`` that IMP outsources to the backend, and
+* equi-depth histogram statistics used to pick sketch ranges
+  (:mod:`repro.storage.statistics`).
+"""
+
+from repro.storage.database import Database
+from repro.storage.delta import Delta, DeltaTuple, DatabaseDelta, INSERT, DELETE
+from repro.storage.snapshots import AuditLog, AuditRecord
+from repro.storage.statistics import equi_depth_boundaries, equi_width_boundaries
+from repro.storage.table import StoredTable
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "Database",
+    "DatabaseDelta",
+    "DELETE",
+    "Delta",
+    "DeltaTuple",
+    "INSERT",
+    "StoredTable",
+    "equi_depth_boundaries",
+    "equi_width_boundaries",
+]

@@ -1,0 +1,323 @@
+"""The in-memory versioned backend database.
+
+:class:`Database` plays the role of the Postgres backend in the paper's
+architecture (Fig. 2): it stores base tables, answers SQL / relational algebra
+queries under bag semantics, applies updates transactionally -- each commit
+producing a new snapshot identifier -- and serves deltas between versions from
+its audit log.  IMP talks to it for
+
+* full query evaluation (the non-sketch baseline and sketch-instrumented
+  queries),
+* full sketch capture (full-maintenance baseline),
+* delta extraction for incremental maintenance, and
+* evaluating ``ΔR ⋈ S`` join deltas that IMP outsources to the backend.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.errors import StorageError
+from repro.relational.algebra import PlanNode
+from repro.relational.evaluator import Evaluator
+from repro.relational.schema import Relation, Row, Schema
+from repro.sql.ast import DeleteStatement, InsertStatement, SelectStatement
+from repro.sql.parser import parse_statement
+from repro.sql.translator import Translator
+from repro.storage.delta import DatabaseDelta, Delta
+from repro.storage.snapshots import AuditLog, AuditRecord
+from repro.storage.statistics import (
+    ColumnStatistics,
+    collect_column_statistics,
+    equi_depth_boundaries,
+)
+from repro.storage.table import StoredTable
+
+
+class Database:
+    """An in-memory, versioned, bag-semantics relational database."""
+
+    def __init__(self, name: str = "imp") -> None:
+        self.name = name
+        self._tables: dict[str, StoredTable] = {}
+        self._version = 0
+        self._audit_log = AuditLog()
+        self._scan_counter = 0
+        self._index_scan_counter = 0
+
+    # -- catalog -------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str] | Schema,
+        primary_key: str | None = None,
+    ) -> StoredTable:
+        """Create an empty table; raises when the name is already taken."""
+        name = name.lower()
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = StoredTable(name, columns if isinstance(columns, Schema) else Schema(columns), primary_key)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its data."""
+        name = name.lower()
+        if name not in self._tables:
+            raise StorageError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> StoredTable:
+        """The stored table object for ``name``."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise StorageError(f"unknown table {name!r}") from exc
+
+    def table_names(self) -> list[str]:
+        """Names of all tables."""
+        return sorted(self._tables)
+
+    # -- RelationProvider / SchemaProvider protocol -----------------------------------
+
+    def relation(self, table: str) -> Relation:
+        """The current contents of ``table`` as a relation."""
+        self._scan_counter += 1
+        return self.table(table).as_relation()
+
+    def schema_of(self, table: str) -> Schema:
+        """The schema of ``table``."""
+        return self.table(table).schema
+
+    # -- physical design (secondary indexes) ----------------------------------------------
+
+    def create_index(self, table: str, attribute: str) -> None:
+        """Create an ordered index on ``table.attribute`` (idempotent)."""
+        self.table(table).create_index(attribute)
+
+    def has_index(self, table: str, attribute: str) -> bool:
+        """Whether ``table.attribute`` carries an ordered index."""
+        return self.table(table).has_index(attribute)
+
+    def indexed_attributes(self, table: str) -> list[str]:
+        """Attributes of ``table`` that carry an ordered index."""
+        return self.table(table).indexed_attributes()
+
+    def index_scan(self, table: str, attribute: str, intervals) -> list[tuple[Row, int]]:
+        """Index range scan over ``table.attribute`` (used by the evaluator)."""
+        self._index_scan_counter += 1
+        return list(self.table(table).rows_in_intervals(attribute, intervals))
+
+    @property
+    def index_scan_count(self) -> int:
+        """Number of selections served by an index range scan."""
+        return self._index_scan_counter
+
+    # -- versions & deltas --------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The current snapshot identifier (0 for a freshly created database)."""
+        return self._version
+
+    @property
+    def audit_log(self) -> AuditLog:
+        """The append-only audit log of committed updates."""
+        return self._audit_log
+
+    @property
+    def scan_count(self) -> int:
+        """Number of base-table scans served (a rough I/O cost proxy)."""
+        return self._scan_counter
+
+    def delta_since(self, table: str, since: int, until: int | None = None) -> Delta:
+        """The combined delta of ``table`` between versions ``since`` and ``until``."""
+        until = self._version if until is None else until
+        self._validate_versions(since, until)
+        return self._audit_log.delta_between(table, self.schema_of(table), since, until)
+
+    def database_delta_since(
+        self, tables: Iterable[str], since: int, until: int | None = None
+    ) -> DatabaseDelta:
+        """Per-table deltas for ``tables`` between two versions."""
+        until = self._version if until is None else until
+        self._validate_versions(since, until)
+        schemas = {table: self.schema_of(table) for table in tables}
+        return self._audit_log.database_delta_between(schemas, since, until)
+
+    def tables_changed_since(self, since: int, until: int | None = None) -> set[str]:
+        """Tables touched by any committed update in ``(since, until]``."""
+        until = self._version if until is None else until
+        self._validate_versions(since, until)
+        return self._audit_log.tables_changed_between(since, until)
+
+    def _validate_versions(self, since: int, until: int) -> None:
+        if since < 0 or until > self._version or since > until:
+            raise StorageError(
+                f"invalid version range ({since}, {until}] for database at version "
+                f"{self._version}"
+            )
+
+    # -- updates ------------------------------------------------------------------------
+
+    def insert(self, table: str, rows: Iterable[Row]) -> int:
+        """Insert rows into ``table``; returns the new snapshot identifier."""
+        stored = self.table(table)
+        delta = Delta(stored.schema)
+        count = 0
+        for row in rows:
+            delta.add_insert(tuple(row))
+            count += 1
+        if count == 0:
+            return self._version
+        return self._commit({stored.name: delta})
+
+    def delete_rows(self, table: str, rows: Iterable[Row]) -> int:
+        """Delete specific rows from ``table``; returns the new snapshot identifier."""
+        stored = self.table(table)
+        delta = Delta(stored.schema)
+        count = 0
+        for row in rows:
+            delta.add_delete(tuple(row))
+            count += 1
+        if count == 0:
+            return self._version
+        return self._commit({stored.name: delta})
+
+    def delete_where(self, table: str, predicate: Callable[[Row], bool]) -> int:
+        """Delete rows satisfying ``predicate``; returns the new snapshot identifier."""
+        stored = self.table(table)
+        victims: list[Row] = []
+        for row, multiplicity in stored.items():
+            if predicate(row):
+                victims.extend([row] * multiplicity)
+        if not victims:
+            return self._version
+        return self.delete_rows(table, victims)
+
+    def apply_database_delta(self, delta: DatabaseDelta) -> int:
+        """Apply a multi-table delta as a single committed update."""
+        per_table = {table: d for table, d in delta.items() if d}
+        if not per_table:
+            return self._version
+        return self._commit(per_table)
+
+    def _commit(self, deltas: dict[str, Delta]) -> int:
+        for table, delta in deltas.items():
+            self.table(table).apply_delta(delta)
+        self._version += 1
+        self._audit_log.append(AuditRecord(self._version, dict(deltas)))
+        return self._version
+
+    # -- query evaluation -----------------------------------------------------------------
+
+    def evaluator(self) -> Evaluator:
+        """An evaluator bound to this database."""
+        return Evaluator(self)
+
+    def translator(self) -> Translator:
+        """A SQL-to-algebra translator bound to this database's catalog."""
+        return Translator(self)
+
+    def plan(self, sql: str) -> PlanNode:
+        """Parse and translate a SQL query into a logical plan."""
+        return self.translator().translate_sql(sql)
+
+    def query(self, query: str | PlanNode | SelectStatement) -> Relation:
+        """Evaluate a SQL string, parsed statement, or logical plan."""
+        if isinstance(query, str):
+            plan = self.plan(query)
+        elif isinstance(query, SelectStatement):
+            plan = self.translator().translate(query)
+        else:
+            plan = query
+        return self.evaluator().evaluate(plan)
+
+    def execute(self, sql: str) -> Relation | int:
+        """Execute any supported statement.
+
+        SELECT statements return a relation; INSERT/DELETE return the new
+        snapshot identifier.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, SelectStatement):
+            return self.query(statement)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        raise StorageError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_insert(self, statement: InsertStatement) -> int:
+        stored = self.table(statement.table)
+        rows = []
+        for values in statement.rows:
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise StorageError("INSERT arity does not match the column list")
+                by_name = dict(zip(statement.columns, values))
+                row = tuple(
+                    by_name.get(Schema.bare_name(attribute)) for attribute in stored.schema
+                )
+            else:
+                row = tuple(values)
+            rows.append(row)
+        return self.insert(stored.name, rows)
+
+    def _execute_delete(self, statement: DeleteStatement) -> int:
+        stored = self.table(statement.table)
+        schema = stored.schema
+        if statement.where is None:
+            return self.delete_rows(stored.name, list(stored.rows()))
+        predicate = statement.where
+        return self.delete_where(
+            stored.name, lambda row: predicate.evaluate(row, schema) is True
+        )
+
+    # -- statistics ---------------------------------------------------------------------------
+
+    def column_statistics(self, table: str, attribute: str) -> ColumnStatistics:
+        """Summary statistics for one column."""
+        stored = self.table(table)
+        index = stored.schema.index_of(attribute)
+        values = [row[index] for row in stored.rows()]
+        return collect_column_statistics(attribute, values)
+
+    def equi_depth_ranges(self, table: str, attribute: str, num_buckets: int) -> list[float]:
+        """Equi-depth histogram boundaries for ``table.attribute``.
+
+        These boundaries are the ranges used when creating sketches
+        (paper Sec. 7.4).
+        """
+        values = self.table(table).column_values(attribute)
+        return equi_depth_boundaries([float(v) for v in values], num_buckets)
+
+    # -- maintenance helpers -------------------------------------------------------------------
+
+    def snapshot_relation(self, table: str, version: int) -> Relation:
+        """Reconstruct the contents of ``table`` as of ``version``.
+
+        Used by tests and the lazy-maintenance correctness checks: the current
+        contents are rolled back by undoing audit records newer than
+        ``version``.
+        """
+        self._validate_versions(0, self._version)
+        if version > self._version or version < 0:
+            raise StorageError(f"unknown version {version}")
+        relation = self.relation(table)
+        for record in reversed(list(self._audit_log.records())):
+            if record.version <= version:
+                break
+            delta = record.deltas.get(table.lower())
+            if delta is None:
+                continue
+            for row, multiplicity in delta.inserts():
+                relation.remove(row, multiplicity)
+            for row, multiplicity in delta.deletes():
+                relation.add(row, multiplicity)
+        return relation

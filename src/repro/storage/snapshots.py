@@ -1,0 +1,103 @@
+"""Snapshot identifiers and the audit log.
+
+The paper assumes the backend uses snapshot isolation and that sketch versions
+are identified by snapshot identifiers (Sec. 2 and 7.3).  In this backend every
+committed update produces a new monotonically increasing version number and an
+:class:`AuditRecord` describing the per-table delta of the update.  The
+:class:`AuditLog` answers "what changed between version v1 and v2 in table R?"
+-- exactly the query IMP issues when it maintains a stale sketch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.core.errors import StorageError
+from repro.relational.schema import Schema
+from repro.storage.delta import DatabaseDelta, Delta
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One committed update: the version it produced and its per-table deltas."""
+
+    version: int
+    deltas: dict[str, Delta] = field(default_factory=dict)
+
+    def tables(self) -> Iterator[str]:
+        return iter(self.deltas)
+
+
+class AuditLog:
+    """Append-only log of committed updates, ordered by version."""
+
+    def __init__(self) -> None:
+        self._records: list[AuditRecord] = []
+
+    def append(self, record: AuditRecord) -> None:
+        """Append a record; versions must be strictly increasing."""
+        if self._records and record.version <= self._records[-1].version:
+            raise StorageError(
+                f"audit record version {record.version} is not greater than "
+                f"the latest recorded version {self._records[-1].version}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Iterator[AuditRecord]:
+        """All records, oldest first."""
+        return iter(self._records)
+
+    def records_between(self, since: int, until: int) -> Iterator[AuditRecord]:
+        """Records with ``since < version <= until``."""
+        for record in self._records:
+            if since < record.version <= until:
+                yield record
+
+    def delta_between(
+        self, table: str, schema: Schema, since: int, until: int
+    ) -> Delta:
+        """Combined delta of ``table`` for all updates in ``(since, until]``.
+
+        The result accumulates every recorded change without cancelling
+        insert/delete pairs of the same row -- the incremental operators handle
+        both signs and the over-approximation stays sound either way.
+        """
+        combined = Delta(schema)
+        for record in self.records_between(since, until):
+            table_delta = record.deltas.get(table)
+            if table_delta is not None:
+                combined.merge(table_delta)
+        return combined
+
+    def database_delta_between(
+        self, schemas: dict[str, Schema], since: int, until: int
+    ) -> DatabaseDelta:
+        """Combined per-table deltas for all tables mentioned in ``schemas``."""
+        result = DatabaseDelta()
+        for table, schema in schemas.items():
+            delta = self.delta_between(table, schema, since, until)
+            if delta:
+                result.set_delta(table, delta)
+        return result
+
+    def tables_changed_between(self, since: int, until: int) -> set[str]:
+        """Names of tables touched by any update in ``(since, until]``."""
+        changed: set[str] = set()
+        for record in self.records_between(since, until):
+            changed.update(record.deltas)
+        return changed
+
+    def prune_before(self, version: int) -> int:
+        """Drop records with ``version <= version``; return how many were dropped.
+
+        Mirrors the backend reclaiming audit history once every sketch has been
+        maintained past that point.
+        """
+        keep = [record for record in self._records if record.version > version]
+        dropped = len(self._records) - len(keep)
+        self._records = keep
+        return dropped

@@ -1,0 +1,107 @@
+"""Table statistics used for sketch range selection.
+
+The paper uses the bounds of equi-depth histograms maintained by the DBMS as
+the ranges of a partition (Sec. 7.4) and generates ranges that cover the whole
+domain of an attribute, not only its active domain.  This module provides both
+equi-depth and equi-width boundary computation plus simple column statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Summary statistics for one attribute of a table."""
+
+    attribute: str
+    row_count: int
+    null_count: int
+    distinct_count: int
+    minimum: object | None
+    maximum: object | None
+
+
+def collect_column_statistics(attribute: str, values: Sequence[object]) -> ColumnStatistics:
+    """Compute :class:`ColumnStatistics` for a column's values."""
+    non_null = [value for value in values if value is not None]
+    return ColumnStatistics(
+        attribute=attribute,
+        row_count=len(values),
+        null_count=len(values) - len(non_null),
+        distinct_count=len(set(non_null)),
+        minimum=min(non_null) if non_null else None,
+        maximum=max(non_null) if non_null else None,
+    )
+
+
+def equi_depth_boundaries(
+    values: Sequence[float], num_buckets: int
+) -> list[float]:
+    """Boundaries of an equi-depth histogram with ``num_buckets`` buckets.
+
+    Returns ``num_buckets + 1`` increasing boundary values where each adjacent
+    pair delimits a bucket containing roughly the same number of values.
+    Duplicate boundaries caused by heavy hitters are collapsed, so the result
+    may contain fewer buckets than requested (matching how DBMS statistics
+    behave on skewed data).
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    data = sorted(value for value in values if value is not None)
+    if not data:
+        raise ValueError("cannot build a histogram over an empty column")
+    boundaries = [data[0]]
+    for bucket in range(1, num_buckets):
+        index = min(len(data) - 1, round(bucket * len(data) / num_buckets))
+        candidate = data[index]
+        if candidate > boundaries[-1]:
+            boundaries.append(candidate)
+    if data[-1] > boundaries[-1]:
+        boundaries.append(data[-1])
+    else:
+        boundaries.append(boundaries[-1])
+    return boundaries
+
+
+def equi_width_boundaries(
+    low: float, high: float, num_buckets: int
+) -> list[float]:
+    """Boundaries of an equi-width histogram over ``[low, high]``."""
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    if high < low:
+        raise ValueError("high must be at least low")
+    if high == low:
+        return [low, high]
+    width = (high - low) / num_buckets
+    boundaries = [low + i * width for i in range(num_buckets)]
+    boundaries.append(high)
+    return boundaries
+
+
+def histogram_counts(values: Sequence[float], boundaries: Sequence[float]) -> list[int]:
+    """Count values per bucket given histogram ``boundaries``.
+
+    A value belongs to bucket ``i`` when ``boundaries[i] <= v < boundaries[i+1]``
+    except the last bucket which is right-inclusive.
+    """
+    if len(boundaries) < 2:
+        raise ValueError("need at least two boundaries")
+    counts = [0] * (len(boundaries) - 1)
+    for value in values:
+        if value is None:
+            continue
+        if value < boundaries[0] or value > boundaries[-1]:
+            continue
+        placed = False
+        for i in range(len(boundaries) - 2):
+            if boundaries[i] <= value < boundaries[i + 1]:
+                counts[i] += 1
+                placed = True
+                break
+        if not placed:
+            counts[-1] += 1
+    return counts

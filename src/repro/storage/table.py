@@ -1,0 +1,287 @@
+"""Base table storage for the in-memory backend.
+
+A :class:`StoredTable` is a named, mutable bag of rows with a fixed schema.
+It tracks basic statistics (row count, per-attribute min/max) that the sketch
+range-selection heuristics and the backend "optimizer" consult, and exposes
+its contents as a :class:`~repro.relational.schema.Relation` for evaluation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.core.errors import SchemaError, StorageError
+from repro.relational.predicates import Interval
+from repro.relational.schema import Relation, Row, Schema
+from repro.storage.delta import Delta
+
+
+class AttributeIndex:
+    """An ordered secondary index on one attribute of a stored table.
+
+    The index keeps the distinct attribute values in a sorted list and, per
+    value, the bag of rows carrying it.  Range lookups use binary search over
+    the value list, which is the physical-design capability (B-tree index /
+    zone map) that provenance-based data skipping exploits: a selection whose
+    predicate bounds the indexed attribute only touches the qualifying rows.
+    """
+
+    __slots__ = ("attribute", "position", "_values", "_buckets")
+
+    def __init__(self, attribute: str, position: int) -> None:
+        self.attribute = attribute
+        self.position = position
+        self._values: list[float] = []
+        self._buckets: dict[float, dict[Row, int]] = {}
+
+    def insert(self, row: Row, multiplicity: int) -> None:
+        """Register ``multiplicity`` copies of ``row``."""
+        value = row[self.position]
+        if value is None:
+            return
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            bucket = {}
+            self._buckets[value] = bucket
+            bisect.insort(self._values, value)
+        bucket[row] = bucket.get(row, 0) + multiplicity
+
+    def delete(self, row: Row, multiplicity: int) -> None:
+        """Remove up to ``multiplicity`` copies of ``row``."""
+        value = row[self.position]
+        if value is None:
+            return
+        bucket = self._buckets.get(value)
+        if not bucket:
+            return
+        remaining = bucket.get(row, 0) - multiplicity
+        if remaining > 0:
+            bucket[row] = remaining
+        else:
+            bucket.pop(row, None)
+        # Empty buckets are kept in the value list (tombstones); range scans
+        # skip them.  This keeps deletes O(1) amortised.
+
+    def rows_in_intervals(self, intervals: Iterable[Interval]) -> Iterator[tuple[Row, int]]:
+        """Rows whose indexed value falls into any of ``intervals``."""
+        seen: set[Row] = set()
+        for interval in intervals:
+            low_index = bisect.bisect_left(self._values, interval.low)
+            if not interval.low_inclusive:
+                low_index = bisect.bisect_right(self._values, interval.low)
+            high_index = bisect.bisect_right(self._values, interval.high)
+            if not interval.high_inclusive:
+                high_index = bisect.bisect_left(self._values, interval.high)
+            for value in self._values[low_index:high_index]:
+                bucket = self._buckets.get(value)
+                if not bucket:
+                    continue
+                for row, multiplicity in bucket.items():
+                    if row in seen:
+                        continue
+                    seen.add(row)
+                    yield row, multiplicity
+
+    def distinct_value_count(self) -> int:
+        """Number of distinct indexed values (including tombstoned ones)."""
+        return len(self._values)
+
+
+class StoredTable:
+    """A named base table."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | Iterable[str],
+        primary_key: str | None = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        if primary_key is not None and not self.schema.has(primary_key):
+            raise SchemaError(f"primary key {primary_key!r} is not in schema")
+        self.primary_key = primary_key
+        self._rows: dict[Row, int] = {}
+        self._key_index: dict[object, Row] = {}
+        self._indexes: dict[str, AttributeIndex] = {}
+        self._row_count = 0
+
+    # -- inspection --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of rows (counting duplicates)."""
+        return self._row_count
+
+    def __bool__(self) -> bool:
+        return self._row_count > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StoredTable({self.name}, rows={self._row_count})"
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over rows with duplicates."""
+        for row, multiplicity in self._rows.items():
+            for _ in range(multiplicity):
+                yield row
+
+    def items(self) -> Iterator[tuple[Row, int]]:
+        """Iterate over ``(row, multiplicity)`` pairs."""
+        return iter(self._rows.items())
+
+    def as_relation(self) -> Relation:
+        """The table contents as a relation (a copy; safe to mutate)."""
+        return Relation(self.schema, dict(self._rows))
+
+    def column_values(self, attribute: str) -> list[object]:
+        """All values of ``attribute`` (duplicates included, NULLs skipped)."""
+        index = self.schema.index_of(attribute)
+        values: list[object] = []
+        for row, multiplicity in self._rows.items():
+            value = row[index]
+            if value is None:
+                continue
+            values.extend([value] * multiplicity)
+        return values
+
+    def attribute_bounds(self, attribute: str) -> tuple[object, object] | None:
+        """The ``(min, max)`` of an attribute, or None for an empty table."""
+        index = self.schema.index_of(attribute)
+        minimum: object | None = None
+        maximum: object | None = None
+        for row in self._rows:
+            value = row[index]
+            if value is None:
+                continue
+            if minimum is None or value < minimum:  # type: ignore[operator]
+                minimum = value
+            if maximum is None or value > maximum:  # type: ignore[operator]
+                maximum = value
+        if minimum is None:
+            return None
+        return minimum, maximum
+
+    def lookup_by_key(self, key: object) -> Row | None:
+        """Find the row with the given primary key value (if a key is defined)."""
+        if self.primary_key is None:
+            raise StorageError(f"table {self.name!r} has no primary key")
+        return self._key_index.get(key)
+
+    # -- secondary indexes --------------------------------------------------------
+
+    def create_index(self, attribute: str) -> AttributeIndex:
+        """Create (or return the existing) ordered index on ``attribute``."""
+        bare = Schema.bare_name(attribute)
+        existing = self._indexes.get(bare)
+        if existing is not None:
+            return existing
+        index = AttributeIndex(bare, self.schema.index_of(attribute))
+        for row, multiplicity in self._rows.items():
+            index.insert(row, multiplicity)
+        self._indexes[bare] = index
+        return index
+
+    def has_index(self, attribute: str) -> bool:
+        """Whether an ordered index exists on ``attribute``."""
+        return Schema.bare_name(attribute) in self._indexes
+
+    def index_on(self, attribute: str) -> AttributeIndex:
+        """The index on ``attribute`` (raises when missing)."""
+        bare = Schema.bare_name(attribute)
+        if bare not in self._indexes:
+            raise StorageError(f"no index on {self.name}.{bare}")
+        return self._indexes[bare]
+
+    def indexed_attributes(self) -> list[str]:
+        """Attributes that currently carry an ordered index."""
+        return sorted(self._indexes)
+
+    def rows_in_intervals(
+        self, attribute: str, intervals: Iterable[Interval]
+    ) -> Iterator[tuple[Row, int]]:
+        """Index range scan: rows whose ``attribute`` value lies in the intervals."""
+        return self.index_on(attribute).rows_in_intervals(intervals)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, row: Row, multiplicity: int = 1) -> None:
+        """Insert ``multiplicity`` copies of ``row``."""
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(row)} does not match table {self.name!r} "
+                f"arity {len(self.schema)}"
+            )
+        if multiplicity <= 0:
+            raise ValueError("multiplicity must be positive")
+        row = tuple(row)
+        self._rows[row] = self._rows.get(row, 0) + multiplicity
+        self._row_count += multiplicity
+        if self.primary_key is not None:
+            key = row[self.schema.index_of(self.primary_key)]
+            self._key_index[key] = row
+        for index in self._indexes.values():
+            index.insert(row, multiplicity)
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        """Insert every row of ``rows``; return the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete(self, row: Row, multiplicity: int = 1) -> int:
+        """Delete up to ``multiplicity`` copies of ``row``; return removed count."""
+        row = tuple(row)
+        current = self._rows.get(row, 0)
+        if current == 0 or multiplicity <= 0:
+            return 0
+        removed = min(current, multiplicity)
+        remaining = current - removed
+        if remaining:
+            self._rows[row] = remaining
+        else:
+            del self._rows[row]
+            if self.primary_key is not None:
+                key = row[self.schema.index_of(self.primary_key)]
+                if self._key_index.get(key) == row:
+                    del self._key_index[key]
+        for index in self._indexes.values():
+            index.delete(row, removed)
+        self._row_count -= removed
+        return removed
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> list[Row]:
+        """Delete all rows satisfying ``predicate``; return them (with duplicates)."""
+        victims = [
+            (row, multiplicity)
+            for row, multiplicity in self._rows.items()
+            if predicate(row)
+        ]
+        deleted: list[Row] = []
+        for row, multiplicity in victims:
+            self.delete(row, multiplicity)
+            deleted.extend([row] * multiplicity)
+        return deleted
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply a delta (deletions first, then insertions)."""
+        for row, multiplicity in delta.deletes():
+            removed = self.delete(row, multiplicity)
+            if removed < multiplicity:
+                raise StorageError(
+                    f"delta deletes {multiplicity} copies of a row but table "
+                    f"{self.name!r} only holds {removed}"
+                )
+        for row, multiplicity in delta.inserts():
+            self.insert(row, multiplicity)
+
+    def truncate(self) -> None:
+        """Remove all rows (indexes are rebuilt empty)."""
+        self._rows.clear()
+        self._key_index.clear()
+        self._row_count = 0
+        for attribute in list(self._indexes):
+            self._indexes[attribute] = AttributeIndex(
+                attribute, self.schema.index_of(attribute)
+            )

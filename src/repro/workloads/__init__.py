@@ -1,0 +1,46 @@
+"""Workloads and datasets used by the experiments.
+
+The paper evaluates IMP on TPC-H, a real-world Chicago Crimes dataset, and
+synthetic tables (Sec. 8, "Datasets and Workloads").  This package generates
+deterministic, scaled-down equivalents of all three plus the Appendix-A query
+templates and the mixed query/update workloads of Sec. 8.1.
+"""
+
+from repro.workloads.crimes import CRIMES_Q1, CRIMES_Q2, load_crimes
+from repro.workloads.mixed import MixedWorkload, Operation, WorkloadRunner
+from repro.workloads.queries import (
+    q_endtoend,
+    q_groups,
+    q_having,
+    q_join,
+    q_joinsel,
+    q_selpd,
+    q_sketch,
+    q_space,
+    q_topk,
+)
+from repro.workloads.synthetic import SyntheticTable, load_synthetic
+from repro.workloads.tpch import TPCH_QUERIES, load_tpch, tpch_q10
+
+__all__ = [
+    "CRIMES_Q1",
+    "CRIMES_Q2",
+    "MixedWorkload",
+    "Operation",
+    "SyntheticTable",
+    "TPCH_QUERIES",
+    "WorkloadRunner",
+    "load_crimes",
+    "load_synthetic",
+    "load_tpch",
+    "q_endtoend",
+    "q_groups",
+    "q_having",
+    "q_join",
+    "q_joinsel",
+    "q_selpd",
+    "q_sketch",
+    "q_space",
+    "q_topk",
+    "tpch_q10",
+]

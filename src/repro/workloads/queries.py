@@ -1,0 +1,123 @@
+"""The query templates of the paper's microbenchmarks (Appendix A).
+
+Every function returns a SQL string over the synthetic schema created by
+:func:`repro.workloads.synthetic.load_synthetic` (table ``r`` with attributes
+``id, a, b, c, ..., j``) and the join helper table ``tjoinhelp``.  Thresholds
+are parameters so the benchmark harness can pick values with the selectivity
+each experiment asks for.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import DEFAULT_ATTRIBUTES
+
+
+def q_having(num_aggregates: int, table: str = "r", threshold: float = 1000.0) -> str:
+    """Q_having: group-by aggregation with a varying number of aggregate
+    functions in the HAVING clause (Sec. 8.3.2 / Fig. 11a).
+    """
+    if num_aggregates < 1:
+        raise ValueError("q_having needs at least one aggregate function")
+    conditions = []
+    # The first aggregate appears in the SELECT list; additional aggregates are
+    # added to the HAVING clause, mirroring the Appendix A queries.
+    usable = [name for name in DEFAULT_ATTRIBUTES if name != "a"]
+    for index in range(1, num_aggregates):
+        attribute = usable[(index - 1) % len(usable)]
+        if index == 1:
+            conditions.append(f"avg({attribute}) < {threshold}")
+        else:
+            conditions.append(f"avg({attribute}) > 0")
+    having = f" HAVING {' AND '.join(conditions)}" if conditions else ""
+    return f"SELECT a, avg(b) AS ab FROM {table} GROUP BY a{having}"
+
+
+def q_groups(table: str = "r", threshold: float = 1000.0) -> str:
+    """Q_groups: group-by aggregation with HAVING, used while varying the
+    number of groups of the underlying table (Sec. 8.3.1 / Fig. 11b)."""
+    return (
+        f"SELECT a, avg(b) AS ab FROM {table} GROUP BY a HAVING avg(c) < {threshold}"
+    )
+
+
+def q_join(
+    table: str = "r",
+    helper: str = "tjoinhelp",
+    filter_threshold: float = 1000.0,
+    having_threshold: float = 1000.0,
+) -> str:
+    """Q_join: aggregation with HAVING over the result of an equi-join with a
+    filtered subquery (Sec. 8.3.3 / Fig. 11c,d)."""
+    return (
+        "SELECT a, avg(b) AS ab FROM ("
+        f"SELECT a AS a, b AS b, c AS c FROM {table} WHERE b < {filter_threshold}"
+        f") tt JOIN {helper} ON (a = ttid) "
+        f"GROUP BY a HAVING avg(c) < {having_threshold}"
+    )
+
+
+def q_joinsel(
+    table: str = "r",
+    helper: str = "tjoinhelp",
+    filter_threshold: float = 1000.0,
+    having_threshold: float = 1000.0,
+) -> str:
+    """Q_joinsel: aggregation with HAVING over a join whose selectivity is
+    controlled by the helper table (Sec. 8.3.4 / Fig. 11e)."""
+    return (
+        f"SELECT a, avg(b) AS ab FROM {table} JOIN {helper} ON (a = ttid) "
+        f"WHERE b < {filter_threshold} GROUP BY a HAVING avg(c) < {having_threshold}"
+    )
+
+
+def q_sketch(
+    table: str = "r",
+    helper: str = "tjoinhelp",
+    filter_threshold: float = 1000.0,
+    having_threshold: float = 1000.0,
+) -> str:
+    """Q_sketch: the query used while varying the number of fragments of the
+    partition (Sec. 8.3.5 / Fig. 11f); same shape as Q_join."""
+    return q_join(table, helper, filter_threshold, having_threshold)
+
+
+def q_selpd(table: str = "r", where_threshold: float = 1000.0, having_threshold: float = 300.0) -> str:
+    """Q_selpd: single-table aggregation with a WHERE filter, used to evaluate
+    the delta selection push-down optimization (Sec. 8.4.1 / Fig. 13c)."""
+    return (
+        f"SELECT a, avg(b) AS ab FROM {table} WHERE b < {where_threshold} "
+        f"GROUP BY a HAVING avg(c) < {having_threshold}"
+    )
+
+
+def q_endtoend(table: str = "r", low: float = 100.0, high: float = 1500.0) -> str:
+    """Q_endtoend: the group-by/HAVING template of the mixed-workload
+    experiment (Sec. 8.1 / Fig. 8)."""
+    return (
+        f"SELECT a, avg(c) AS ac FROM {table} GROUP BY a "
+        f"HAVING avg(c) > {low} AND avg(c) < {high}"
+    )
+
+
+def q_topk(table: str = "r", k: int = 10) -> str:
+    """Q_top-k: ascending group-by top-k (Sec. 8.4.3 / Fig. 14, 15)."""
+    return f"SELECT a, avg(b) AS ab FROM {table} GROUP BY a ORDER BY a LIMIT {k}"
+
+
+def q_space(k: int = 20) -> str:
+    """Q_space: the TPC-H Q10-style top-k revenue query (Sec. 8.4.3 / Fig. 13e,f).
+
+    The query is defined over the TPC-H schema created by
+    :func:`repro.workloads.tpch.load_tpch`.
+    """
+    return (
+        "SELECT c_custkey, c_name, "
+        "sum(l_extendedprice * (1 - l_discount)) AS revenue, "
+        "c_acctbal, n_name, c_address, c_phone "
+        "FROM customer, orders, lineitem, nation "
+        "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+        "AND o_orderdate >= 19941201 AND o_orderdate < 19950301 "
+        "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+        "GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address "
+        f"ORDER BY revenue LIMIT {k}"
+    )

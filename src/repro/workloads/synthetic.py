@@ -1,0 +1,163 @@
+"""Synthetic dataset generator.
+
+The paper's synthetic tables have at least 11 attributes: a key ``id``, an
+attribute ``a`` whose values are drawn uniformly at random (and which controls
+the number of groups for the group-by microbenchmarks), and further attributes
+that are linearly correlated with ``a`` subject to Gaussian noise (Sec. 8,
+"Datasets and Workloads").  The generator is deterministic for a given seed so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.relational.schema import Row
+from repro.storage.database import Database
+
+DEFAULT_ATTRIBUTES = ("a", "b", "c", "d", "e", "f", "g", "h", "i", "j")
+"""Non-key attribute names of a synthetic table (10 + the key = 11 columns)."""
+
+
+@dataclass
+class SyntheticTable:
+    """A generated synthetic table plus helpers to produce update deltas."""
+
+    name: str
+    rows: list[Row]
+    num_groups: int
+    value_range: int
+    seed: int
+    _next_id: int = 0
+    _rng: random.Random | None = None
+
+    def __post_init__(self) -> None:
+        self._next_id = max((row[0] for row in self.rows), default=-1) + 1
+        self._rng = random.Random(self.seed + 0x5EED)
+
+    # -- schema ----------------------------------------------------------------------
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names: ``id`` followed by the generated attributes."""
+        return ["id", *DEFAULT_ATTRIBUTES]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- update generation --------------------------------------------------------------
+
+    def make_inserts(self, count: int) -> list[Row]:
+        """Generate ``count`` new rows following the same distribution."""
+        assert self._rng is not None
+        new_rows = []
+        for _ in range(count):
+            new_rows.append(
+                _make_row(self._rng, self._next_id, self.num_groups, self.value_range)
+            )
+            self._next_id += 1
+        self.rows.extend(new_rows)
+        return new_rows
+
+    def pick_deletes(self, count: int) -> list[Row]:
+        """Pick ``count`` existing rows uniformly at random for deletion."""
+        assert self._rng is not None
+        count = min(count, len(self.rows))
+        victims = self._rng.sample(self.rows, count)
+        victim_set = set(victims)
+        self.rows = [row for row in self.rows if row not in victim_set]
+        return victims
+
+    def pick_deletes_from_smallest_groups(self, group_count: int) -> list[Row]:
+        """Delete every row of the ``group_count`` groups with smallest ``a``.
+
+        This is the "delete minimal groups" strategy of the top-k experiment
+        (Fig. 14a): it removes exactly the tuples that currently occupy the
+        head of an ascending top-k.
+        """
+        groups = sorted({row[1] for row in self.rows})[:group_count]
+        victims = [row for row in self.rows if row[1] in groups]
+        victim_groups = set(groups)
+        self.rows = [row for row in self.rows if row[1] not in victim_groups]
+        return victims
+
+    def group_values(self) -> set[object]:
+        """Distinct values of the grouping attribute ``a`` currently present."""
+        return {row[1] for row in self.rows}
+
+
+def _make_row(rng: random.Random, row_id: int, num_groups: int, value_range: int) -> Row:
+    """One synthetic row: ``a`` uniform, remaining attributes correlated with ``a``."""
+    a = rng.randrange(num_groups)
+    scale = value_range / max(num_groups, 1)
+    correlated = []
+    for i in range(len(DEFAULT_ATTRIBUTES) - 1):
+        noise = rng.gauss(0.0, value_range * 0.05)
+        value = a * scale * (1.0 + 0.1 * i) + noise
+        correlated.append(round(abs(value), 3))
+    return (row_id, a, *correlated)
+
+
+def generate_rows(
+    num_rows: int, num_groups: int, value_range: int = 2000, seed: int = 7
+) -> Iterator[Row]:
+    """Yield ``num_rows`` synthetic rows."""
+    rng = random.Random(seed)
+    for row_id in range(num_rows):
+        yield _make_row(rng, row_id, num_groups, value_range)
+
+
+def load_synthetic(
+    database: Database,
+    name: str = "r",
+    num_rows: int = 10_000,
+    num_groups: int = 1_000,
+    value_range: int = 2_000,
+    seed: int = 7,
+) -> SyntheticTable:
+    """Create and populate a synthetic table in ``database``.
+
+    Returns a :class:`SyntheticTable` handle that can generate update deltas
+    drawn from the same distribution.
+    """
+    table = SyntheticTable(
+        name=name,
+        rows=list(generate_rows(num_rows, num_groups, value_range, seed)),
+        num_groups=num_groups,
+        value_range=value_range,
+        seed=seed,
+    )
+    database.create_table(name, table.columns, primary_key="id")
+    database.insert(name, table.rows)
+    return table
+
+
+def load_join_helper(
+    database: Database,
+    name: str = "tjoinhelp",
+    num_rows: int = 2_000,
+    join_selectivity: float = 1.0,
+    join_domain: int = 1_000,
+    seed: int = 11,
+) -> list[Row]:
+    """Create the join helper table used by the join microbenchmarks.
+
+    Each row has a key ``ttid`` that joins with attribute ``a`` of a synthetic
+    table and a payload attribute ``w``.  ``join_selectivity`` controls which
+    fraction of ``ttid`` values fall inside the synthetic table's group domain
+    ``[0, join_domain)``; the rest are placed outside it and therefore never
+    join (this reproduces the selectivity knob of Q_joinsel).
+    """
+    rng = random.Random(seed)
+    rows: list[Row] = []
+    for i in range(num_rows):
+        if rng.random() < join_selectivity:
+            key = rng.randrange(join_domain)
+        else:
+            key = join_domain + 1 + rng.randrange(join_domain)
+        rows.append((i, key, rng.randrange(1_000)))
+    database.create_table(name, ["hid", "ttid", "w"], primary_key="hid")
+    database.insert(name, rows)
+    return rows

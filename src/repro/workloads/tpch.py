@@ -1,0 +1,242 @@
+"""A deterministic, scaled-down TPC-H data generator.
+
+The paper evaluates incremental versus full maintenance on TPC-H at scale
+factors 1 and 10 (Sec. 8.2.1).  Running dbgen is neither possible nor
+necessary here: the experiments only need the TPC-H schema, its key
+relationships, and query templates of the right shape (multi-way joins,
+aggregation with HAVING, top-k).  This generator produces the four tables the
+selected queries touch -- ``nation``, ``customer``, ``orders`` and
+``lineitem`` -- at a configurable scale where ``scale=1.0`` corresponds to a
+few tens of thousands of lineitems (so benchmarks finish in seconds) and the
+relative table sizes follow TPC-H's ratios.
+
+Dates are encoded as ``YYYYMMDD`` integers which keeps them ordered and
+usable as range-partition attributes without a date type.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.relational.schema import Row
+from repro.storage.database import Database
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+
+RETURN_FLAGS = ["R", "A", "N"]
+ORDER_STATUS = ["O", "F", "P"]
+
+# Base cardinalities at scale = 1.0 (scaled down ~100x from real TPC-H SF1 so
+# that a full benchmark suite completes in CI time).
+BASE_CUSTOMERS = 1_500
+BASE_ORDERS = 15_000
+BASE_LINEITEMS = 60_000
+
+
+@dataclass
+class TPCHData:
+    """Handle to the generated TPC-H data with update-generation helpers."""
+
+    scale: float
+    seed: int
+    customers: list[Row] = field(default_factory=list)
+    orders: list[Row] = field(default_factory=list)
+    lineitems: list[Row] = field(default_factory=list)
+    nations: list[Row] = field(default_factory=list)
+    _rng: random.Random | None = None
+    _next_orderkey: int = 0
+    _next_linenumber: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed + 0x7C4)
+        self._next_orderkey = max((row[0] for row in self.orders), default=0) + 1
+
+    # -- update generation ----------------------------------------------------------------
+
+    def make_lineitem_inserts(self, count: int) -> list[Row]:
+        """Generate new lineitem rows for existing orders."""
+        assert self._rng is not None
+        rows = []
+        for _ in range(count):
+            order = self._rng.choice(self.orders)
+            rows.append(_make_lineitem(self._rng, order[0], self._rng.randrange(1, 8)))
+        self.lineitems.extend(rows)
+        return rows
+
+    def pick_lineitem_deletes(self, count: int) -> list[Row]:
+        """Pick existing lineitem rows for deletion."""
+        assert self._rng is not None
+        count = min(count, len(self.lineitems))
+        victims = self._rng.sample(self.lineitems, count)
+        victim_set = set(victims)
+        self.lineitems = [row for row in self.lineitems if row not in victim_set]
+        return victims
+
+    def make_order_inserts(self, count: int) -> tuple[list[Row], list[Row]]:
+        """Generate new orders together with their lineitems."""
+        assert self._rng is not None
+        new_orders = []
+        new_lineitems = []
+        for _ in range(count):
+            customer = self._rng.choice(self.customers)
+            order = _make_order(self._rng, self._next_orderkey, customer[0])
+            self._next_orderkey += 1
+            new_orders.append(order)
+            for line_number in range(1, self._rng.randrange(1, 5) + 1):
+                new_lineitems.append(_make_lineitem(self._rng, order[0], line_number))
+        self.orders.extend(new_orders)
+        self.lineitems.extend(new_lineitems)
+        return new_orders, new_lineitems
+
+
+CUSTOMER_COLUMNS = [
+    "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal",
+    "c_mktsegment",
+]
+ORDERS_COLUMNS = [
+    "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+    "o_orderpriority", "o_shippriority",
+]
+LINEITEM_COLUMNS = [
+    "l_orderkey", "l_linenumber", "l_partkey", "l_suppkey", "l_quantity",
+    "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_shipdate",
+]
+NATION_COLUMNS = ["n_nationkey", "n_name", "n_regionkey"]
+
+
+def _random_date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> int:
+    year = rng.randrange(start_year, end_year + 1)
+    month = rng.randrange(1, 13)
+    day = rng.randrange(1, 29)
+    return year * 10_000 + month * 100 + day
+
+
+def _make_customer(rng: random.Random, key: int) -> Row:
+    return (
+        key,
+        f"Customer#{key:09d}",
+        f"Address {key}",
+        rng.randrange(len(NATION_NAMES)),
+        f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+        round(rng.uniform(-999.0, 9999.0), 2),
+        rng.choice(["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"]),
+    )
+
+
+def _make_order(rng: random.Random, key: int, custkey: int) -> Row:
+    return (
+        key,
+        custkey,
+        rng.choice(ORDER_STATUS),
+        round(rng.uniform(1_000.0, 400_000.0), 2),
+        _random_date(rng),
+        rng.randrange(1, 6),
+        0,
+    )
+
+
+def _make_lineitem(rng: random.Random, orderkey: int, line_number: int) -> Row:
+    quantity = rng.randrange(1, 51)
+    extended_price = round(quantity * rng.uniform(900.0, 10_000.0), 2)
+    return (
+        orderkey,
+        line_number,
+        rng.randrange(1, 200_000),
+        rng.randrange(1, 10_000),
+        quantity,
+        extended_price,
+        round(rng.uniform(0.0, 0.10), 2),
+        round(rng.uniform(0.0, 0.08), 2),
+        rng.choice(RETURN_FLAGS),
+        _random_date(rng),
+    )
+
+
+def load_tpch(database: Database, scale: float = 0.1, seed: int = 17) -> TPCHData:
+    """Generate TPC-H data at the given scale and load it into ``database``."""
+    rng = random.Random(seed)
+    num_customers = max(50, int(BASE_CUSTOMERS * scale))
+    num_orders = max(200, int(BASE_ORDERS * scale))
+    num_lineitems = max(500, int(BASE_LINEITEMS * scale))
+
+    nations = [(i, NATION_NAMES[i], i % 5) for i in range(len(NATION_NAMES))]
+    customers = [_make_customer(rng, key) for key in range(1, num_customers + 1)]
+    orders = [
+        _make_order(rng, key, rng.randrange(1, num_customers + 1))
+        for key in range(1, num_orders + 1)
+    ]
+    lineitems = []
+    for _ in range(num_lineitems):
+        orderkey = rng.randrange(1, num_orders + 1)
+        lineitems.append(_make_lineitem(rng, orderkey, rng.randrange(1, 8)))
+
+    database.create_table("nation", NATION_COLUMNS, primary_key="n_nationkey")
+    database.create_table("customer", CUSTOMER_COLUMNS, primary_key="c_custkey")
+    database.create_table("orders", ORDERS_COLUMNS, primary_key="o_orderkey")
+    database.create_table("lineitem", LINEITEM_COLUMNS)
+    database.insert("nation", nations)
+    database.insert("customer", customers)
+    database.insert("orders", orders)
+    database.insert("lineitem", lineitems)
+
+    return TPCHData(
+        scale=scale,
+        seed=seed,
+        customers=customers,
+        orders=orders,
+        lineitems=lineitems,
+        nations=nations,
+    )
+
+
+def tpch_q10(k: int = 20) -> str:
+    """TPC-H Q10 (the paper's Q_space): top-k customers by returned revenue."""
+    from repro.workloads.queries import q_space
+
+    return q_space(k)
+
+
+def tpch_having_revenue(threshold: float = 100_000.0) -> str:
+    """Customers whose returned-item revenue exceeds a threshold (HAVING query)."""
+    return (
+        "SELECT c_custkey, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+        "FROM customer, orders, lineitem "
+        "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+        "AND l_returnflag = 'R' "
+        "GROUP BY c_custkey "
+        f"HAVING sum(l_extendedprice * (1 - l_discount)) > {threshold}"
+    )
+
+
+def tpch_order_volume(threshold: float = 50.0) -> str:
+    """Orders with large total quantity (single-join HAVING query)."""
+    return (
+        "SELECT o_orderkey, sum(l_quantity) AS total_quantity "
+        "FROM orders JOIN lineitem ON o_orderkey = l_orderkey "
+        "GROUP BY o_orderkey "
+        f"HAVING sum(l_quantity) > {threshold}"
+    )
+
+
+def tpch_top_customers(k: int = 10) -> str:
+    """Top-k customers by account balance per nation segment (top-k query)."""
+    return (
+        "SELECT c_custkey, c_acctbal AS balance "
+        "FROM customer WHERE c_acctbal > 0 "
+        "ORDER BY balance DESC "
+        f"LIMIT {k}"
+    )
+
+
+TPCH_QUERIES: dict[str, str] = {
+    "q10_top_revenue": tpch_q10(),
+    "having_revenue": tpch_having_revenue(),
+    "order_volume": tpch_order_volume(),
+}
+"""The TPC-H query templates used by the Fig. 9 benchmark."""

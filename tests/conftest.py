@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+The ``sales`` fixtures reproduce the running example of the paper (Fig. 1,
+Examples 1.1/1.2) and are used by several modules to pin the library to the
+exact numbers the paper reports.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sketch.ranges import DatabasePartition, RangePartition
+from repro.storage.database import Database
+
+SALES_ROWS = [
+    (1, "Lenovo", "ThinkPad T14s Gen 2", 349, 1),
+    (2, "Lenovo", "ThinkPad T14s Gen 2", 449, 2),
+    (3, "Apple", "MacBook Air 13-inch", 1199, 1),
+    (4, "Apple", "MacBook Pro 14-inch", 3875, 1),
+    (5, "Dell", "Dell XPS 13 Laptop", 1345, 1),
+    (6, "HP", "HP ProBook 450 G9", 999, 4),
+    (7, "HP", "HP ProBook 550 G9", 899, 1),
+]
+
+S8 = (8, "HP", "HP ProBook 650 G10", 1299, 1)
+
+Q_TOP = (
+    "SELECT brand, SUM(price * numsold) AS rev FROM sales "
+    "GROUP BY brand HAVING SUM(price * numsold) > 5000"
+)
+
+PRICE_BOUNDARIES = [1, 601, 1001, 1501, 10000]
+
+
+@pytest.fixture()
+def sales_db() -> Database:
+    """The paper's running-example database (Fig. 1)."""
+    database = Database("paper-example")
+    database.create_table(
+        "sales", ["sid", "brand", "productname", "price", "numsold"], primary_key="sid"
+    )
+    database.insert("sales", SALES_ROWS)
+    return database
+
+
+@pytest.fixture()
+def sales_partition() -> DatabasePartition:
+    """The price partition of Example 1.1 (four ranges)."""
+    return DatabasePartition(
+        [RangePartition("sales", "price", PRICE_BOUNDARIES)]
+    )
+
+
+@pytest.fixture()
+def synthetic_db() -> tuple[Database, list[tuple]]:
+    """A small synthetic table with a grouping attribute and two measures."""
+    rng = random.Random(31)
+    database = Database("synthetic")
+    database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+    rows = [
+        (i, rng.randrange(20), rng.randrange(500), rng.randrange(1000))
+        for i in range(600)
+    ]
+    database.insert("r", rows)
+    return database, rows
+
+
+@pytest.fixture()
+def join_db() -> Database:
+    """Two joinable tables for join / middleware tests."""
+    rng = random.Random(13)
+    database = Database("join")
+    database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+    database.create_table("s", ["sid", "d", "e"], primary_key="sid")
+    database.insert(
+        "r",
+        [
+            (i, rng.randrange(15), rng.randrange(100), rng.randrange(300))
+            for i in range(400)
+        ],
+    )
+    database.insert(
+        "s", [(i, i % 100, rng.randrange(50)) for i in range(150)]
+    )
+    return database

@@ -1,0 +1,202 @@
+"""Tests for relational algebra plan nodes and the bag-semantics evaluator."""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.relational.algebra import (
+    Aggregate,
+    AggregateFunction,
+    Aggregation,
+    CrossProduct,
+    Distinct,
+    Join,
+    OrderItem,
+    Projection,
+    ProjectionItem,
+    Selection,
+    TableScan,
+    TopK,
+    walk_plan,
+)
+from repro.relational.evaluator import Evaluator
+from repro.relational.expressions import BinaryOp, ColumnRef, Comparison, Literal
+from repro.storage.database import Database
+
+
+@pytest.fixture()
+def small_db() -> Database:
+    database = Database()
+    database.create_table("r", ["a", "b"])
+    database.create_table("s", ["c", "d"])
+    database.insert("r", [(1, 10), (1, 10), (2, 20), (3, 30)])
+    database.insert("s", [(10, "x"), (20, "y"), (40, "z")])
+    return database
+
+
+class TestPlanNodes:
+    def test_table_scan_schema_is_qualified(self, small_db):
+        scan = TableScan("r")
+        assert scan.output_schema(small_db).attributes == ("r.a", "r.b")
+        aliased = TableScan("r", "t")
+        assert aliased.output_schema(small_db).attributes == ("t.a", "t.b")
+
+    def test_referenced_tables(self, small_db):
+        plan = Selection(
+            Join(TableScan("r"), TableScan("s"), Comparison("=", ColumnRef("b"), ColumnRef("c"))),
+            Comparison(">", ColumnRef("a"), Literal(0)),
+        )
+        assert plan.referenced_tables() == {"r", "s"}
+
+    def test_walk_plan_visits_all_nodes(self, small_db):
+        plan = Projection(
+            Selection(TableScan("r"), Comparison(">", ColumnRef("a"), Literal(1))),
+            [ProjectionItem(ColumnRef("a"))],
+        )
+        kinds = [type(node).__name__ for node in walk_plan(plan)]
+        assert kinds == ["Projection", "Selection", "TableScan"]
+
+    def test_equi_join_keys_detection(self):
+        join = Join(
+            TableScan("r"), TableScan("s"), Comparison("=", ColumnRef("b"), ColumnRef("c"))
+        )
+        assert join.equi_join_keys() == (["b"], ["c"])
+        theta = Join(
+            TableScan("r"), TableScan("s"), Comparison("<", ColumnRef("b"), ColumnRef("c"))
+        )
+        assert theta.equi_join_keys() is None
+        assert CrossProduct(TableScan("r"), TableScan("s")).equi_join_keys() is None
+
+    def test_aggregation_output_schema(self, small_db):
+        node = Aggregation(
+            TableScan("r"),
+            [ColumnRef("a")],
+            [Aggregate(AggregateFunction.SUM, ColumnRef("b"), "total")],
+        )
+        assert node.output_schema(small_db).attributes == ("a", "total")
+
+    def test_invalid_plan_construction(self):
+        with pytest.raises(PlanError):
+            Projection(TableScan("r"), [])
+        with pytest.raises(PlanError):
+            Aggregation(TableScan("r"), [], [])
+        with pytest.raises(PlanError):
+            TopK(TableScan("r"), 0, [OrderItem(ColumnRef("a"))])
+        with pytest.raises(PlanError):
+            TopK(TableScan("r"), 3, [])
+        with pytest.raises(PlanError):
+            Aggregate(AggregateFunction.SUM, None, "x")
+
+    def test_explain_renders_tree(self, small_db):
+        plan = Selection(TableScan("r"), Comparison(">", ColumnRef("a"), Literal(1)))
+        text = plan.explain(small_db)
+        assert "Selection" in text and "TableScan(r)" in text
+
+
+class TestEvaluator:
+    def test_table_scan_preserves_multiplicities(self, small_db):
+        result = Evaluator(small_db).evaluate(TableScan("r"))
+        assert result.multiplicity((1, 10)) == 2
+        assert len(result) == 4
+
+    def test_selection(self, small_db):
+        plan = Selection(TableScan("r"), Comparison(">=", ColumnRef("a"), Literal(2)))
+        result = Evaluator(small_db).evaluate(plan)
+        assert sorted(result.rows()) == [(2, 20), (3, 30)]
+
+    def test_projection_with_expression(self, small_db):
+        plan = Projection(
+            TableScan("r"),
+            [ProjectionItem(BinaryOp("*", ColumnRef("b"), Literal(2)), "double_b")],
+        )
+        result = Evaluator(small_db).evaluate(plan)
+        assert result.schema.attributes == ("double_b",)
+        assert result.multiplicity((20,)) == 2
+
+    def test_hash_join_matches_nested_loop(self, small_db):
+        condition = Comparison("=", ColumnRef("b"), ColumnRef("c"))
+        equi = Join(TableScan("r"), TableScan("s"), condition)
+        theta = Join(
+            TableScan("r"),
+            TableScan("s"),
+            Comparison("<=", ColumnRef("b"), ColumnRef("c")),
+        )
+        equi_result = Evaluator(small_db).evaluate(equi)
+        assert equi_result.multiplicity((1, 10, 10, "x")) == 2
+        assert len(equi_result) == 3
+        theta_result = Evaluator(small_db).evaluate(theta)
+        assert len(theta_result) > len(equi_result)
+
+    def test_cross_product_cardinality(self, small_db):
+        result = Evaluator(small_db).evaluate(CrossProduct(TableScan("r"), TableScan("s")))
+        assert len(result) == 4 * 3
+
+    def test_aggregation_sum_count_avg(self, small_db):
+        plan = Aggregation(
+            TableScan("r"),
+            [ColumnRef("a")],
+            [
+                Aggregate(AggregateFunction.SUM, ColumnRef("b"), "total"),
+                Aggregate(AggregateFunction.COUNT, None, "cnt"),
+                Aggregate(AggregateFunction.AVG, ColumnRef("b"), "mean"),
+            ],
+        )
+        result = Evaluator(small_db).evaluate(plan)
+        rows = {row[0]: row[1:] for row in result.rows()}
+        assert rows[1] == (20.0, 2, 10.0)
+        assert rows[2] == (20.0, 1, 20.0)
+
+    def test_aggregation_min_max(self, small_db):
+        plan = Aggregation(
+            TableScan("r"),
+            [],
+            [
+                Aggregate(AggregateFunction.MIN, ColumnRef("b"), "lo"),
+                Aggregate(AggregateFunction.MAX, ColumnRef("b"), "hi"),
+            ],
+        )
+        result = Evaluator(small_db).evaluate(plan)
+        assert list(result.rows()) == [(10, 30)]
+
+    def test_global_aggregation_over_empty_input(self, small_db):
+        plan = Aggregation(
+            Selection(TableScan("r"), Comparison(">", ColumnRef("a"), Literal(100))),
+            [],
+            [Aggregate(AggregateFunction.COUNT, None, "cnt")],
+        )
+        result = Evaluator(small_db).evaluate(plan)
+        assert list(result.rows()) == [(0,)]
+
+    def test_distinct(self, small_db):
+        result = Evaluator(small_db).evaluate(Distinct(TableScan("r")))
+        assert result.multiplicity((1, 10)) == 1
+        assert len(result) == 3
+
+    def test_top_k_ascending_and_descending(self, small_db):
+        ascending = TopK(TableScan("r"), 2, [OrderItem(ColumnRef("b"))])
+        descending = TopK(TableScan("r"), 2, [OrderItem(ColumnRef("b"), ascending=False)])
+        asc_rows = Evaluator(small_db).evaluate(ascending)
+        desc_rows = Evaluator(small_db).evaluate(descending)
+        assert sorted(asc_rows.rows()) == [(1, 10), (1, 10)]
+        assert sorted(desc_rows.rows()) == [(2, 20), (3, 30)]
+
+    def test_top_k_truncates_multiplicity(self, small_db):
+        plan = TopK(TableScan("r"), 1, [OrderItem(ColumnRef("b"))])
+        result = Evaluator(small_db).evaluate(plan)
+        assert len(result) == 1
+        assert result.multiplicity((1, 10)) == 1
+
+    def test_aggregation_ignores_nulls(self):
+        database = Database()
+        database.create_table("t", ["g", "v"])
+        database.insert("t", [(1, None), (1, 4), (1, 6), (2, None)])
+        plan = Aggregation(
+            TableScan("t"),
+            [ColumnRef("g")],
+            [
+                Aggregate(AggregateFunction.AVG, ColumnRef("v"), "mean"),
+                Aggregate(AggregateFunction.COUNT, ColumnRef("v"), "cnt"),
+            ],
+        )
+        rows = {row[0]: row[1:] for row in Evaluator(database).evaluate(plan).rows()}
+        assert rows[1] == (5.0, 2)
+        assert rows[2] == (None, 0)

@@ -1,0 +1,82 @@
+"""Tests for the benchmark harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, compare_systems, median, time_callable
+from repro.bench.reporting import format_series, format_table, speedup
+
+
+class TestHarness:
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1.0, 4.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_time_callable_returns_positive_seconds(self):
+        calls = []
+        seconds = time_callable(lambda: calls.append(1), repeats=3, warmup=1)
+        assert seconds >= 0
+        assert len(calls) == 4
+
+    def test_experiment_result_accessors(self):
+        result = ExperimentResult("demo")
+        result.add(system="imp", delta=10, seconds=0.1)
+        result.add(system="fm", delta=10, seconds=0.5)
+        result.add(system="imp", delta=100, seconds=0.2)
+        assert result.column("system") == ["imp", "fm", "imp"]
+        assert len(result.filter(system="imp")) == 2
+        assert result.value("seconds", system="fm", delta=10) == 0.5
+        with pytest.raises(ValueError):
+            result.value("seconds", system="imp")
+
+    def test_compare_systems_enforces_speedup(self):
+        result = ExperimentResult("demo")
+        result.add(system="imp", delta=10, seconds=0.1)
+        result.add(system="fm", delta=10, seconds=1.0)
+        comparisons = compare_systems(
+            result, faster="imp", slower="fm", group_keys=["delta"], min_speedup=2.0
+        )
+        assert comparisons[0][1] == pytest.approx(10.0)
+        result.add(system="imp", delta=20, seconds=2.0)
+        result.add(system="fm", delta=20, seconds=1.0)
+        with pytest.raises(AssertionError):
+            compare_systems(result, "imp", "fm", group_keys=["delta"], min_speedup=1.0)
+
+
+class TestReporting:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) > 0
+
+    def test_format_table_aligns_columns(self):
+        result = ExperimentResult("demo")
+        result.add(system="imp", seconds=0.12345)
+        result.add(system="full-maintenance", seconds=1.5)
+        rendered = format_table(result, title="Demo")
+        lines = rendered.splitlines()
+        assert lines[0] == "Demo"
+        assert "system" in lines[1]
+        assert len({len(line) for line in lines[1:]}) <= 2  # header/sep/data align
+
+    def test_format_table_handles_small_floats_and_none(self):
+        result = ExperimentResult("demo")
+        result.add(system="imp", seconds=0.00001, note=None)
+        rendered = format_table(result)
+        assert "e-05" in rendered
+        assert "-" in rendered
+
+    def test_format_series_pivots_by_system(self):
+        result = ExperimentResult("demo")
+        for delta in (10, 100):
+            result.add(system="imp", delta=delta, seconds=delta / 1000)
+            result.add(system="fm", delta=delta, seconds=delta / 100)
+        rendered = format_series(result, x_key="delta", y_key="seconds", title="Series")
+        lines = rendered.splitlines()
+        assert "imp" in lines[1] and "fm" in lines[1]
+        assert len(lines) == 5  # title + header + separator + 2 data rows
+
+    def test_empty_results_render_placeholder(self):
+        empty = ExperimentResult("empty")
+        assert "<no data>" in format_table(empty)
+        assert "<no data>" in format_series(empty, "x", "y")

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_maintain_defaults(self):
+        args = build_parser().parse_args(["maintain"])
+        assert args.query == "groups"
+        assert args.delta == 100
+        assert not args.no_bloom
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "repro.imp" in output
+        assert "repro.sketch" in output
+
+    def test_demo_runs_the_running_example(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "Apple" in output
+        assert "HP" in output
+
+    def test_maintain_reports_speedups(self, capsys):
+        exit_code = main(
+            [
+                "maintain",
+                "--query",
+                "groups",
+                "--rows",
+                "800",
+                "--groups",
+                "40",
+                "--delta",
+                "20",
+                "--batches",
+                "2",
+                "--fragments",
+                "16",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "IMP (ms)" in output
+        assert "speedup" in output
+        assert "backend round trips" in output
+
+    def test_maintain_with_optimizations_disabled(self, capsys):
+        exit_code = main(
+            [
+                "maintain",
+                "--query",
+                "joinsel",
+                "--rows",
+                "600",
+                "--groups",
+                "30",
+                "--delta",
+                "10",
+                "--batches",
+                "1",
+                "--fragments",
+                "8",
+                "--no-bloom",
+                "--no-pushdown",
+            ]
+        )
+        assert exit_code == 0
+        assert "statistics" in capsys.readouterr().out
+
+    def test_compare_runs_all_three_systems(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--rows",
+                "600",
+                "--groups",
+                "30",
+                "--operations",
+                "9",
+                "--ratio",
+                "1U2Q",
+                "--delta",
+                "5",
+                "--fragments",
+                "16",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "no-sketch" in output
+        assert "full-maintenance" in output
+        assert "fastest system" in output

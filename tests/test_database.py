@@ -1,0 +1,163 @@
+"""Tests for the versioned in-memory backend database."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.statistics import (
+    collect_column_statistics,
+    equi_depth_boundaries,
+    equi_width_boundaries,
+    histogram_counts,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.create_table("t", ["id", "v"], primary_key="id")
+    database.insert("t", [(i, i * 10) for i in range(10)])
+    return database
+
+
+class TestCatalog:
+    def test_create_and_drop(self, db):
+        db.create_table("extra", ["x"])
+        assert db.has_table("extra")
+        db.drop_table("extra")
+        assert not db.has_table("extra")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.create_table("t", ["x"])
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.table("missing")
+        with pytest.raises(StorageError):
+            db.drop_table("missing")
+
+    def test_table_names_are_sorted(self, db):
+        db.create_table("a_table", ["x"])
+        assert db.table_names() == ["a_table", "t"]
+
+    def test_names_are_case_insensitive(self, db):
+        assert db.has_table("T")
+        assert db.schema_of("T").attributes == ("id", "v")
+
+
+class TestVersionsAndDeltas:
+    def test_versions_increase_per_commit(self, db):
+        assert db.version == 1
+        db.insert("t", [(100, 1)])
+        assert db.version == 2
+        db.delete_rows("t", [(100, 1)])
+        assert db.version == 3
+
+    def test_empty_update_does_not_bump_version(self, db):
+        version = db.version
+        assert db.insert("t", []) == version
+        assert db.delete_where("t", lambda row: False) == version
+
+    def test_delta_since(self, db):
+        version = db.version
+        db.insert("t", [(100, 1), (101, 2)])
+        db.delete_rows("t", [(0, 0)])
+        delta = db.delta_since("t", version)
+        assert delta.insert_count == 2
+        assert delta.delete_count == 1
+
+    def test_database_delta_since_filters_tables(self, db):
+        db.create_table("u", ["x"])
+        version = db.version
+        db.insert("t", [(200, 5)])
+        db.insert("u", [(1,)])
+        delta = db.database_delta_since(["t"], version)
+        assert "t" in delta and "u" not in delta
+
+    def test_tables_changed_since(self, db):
+        version = db.version
+        db.insert("t", [(300, 1)])
+        assert db.tables_changed_since(version) == {"t"}
+
+    def test_invalid_version_range(self, db):
+        with pytest.raises(StorageError):
+            db.delta_since("t", db.version + 5)
+
+    def test_snapshot_relation_reconstructs_history(self, db):
+        v1 = db.version
+        db.insert("t", [(100, 1)])
+        db.delete_rows("t", [(0, 0)])
+        past = db.snapshot_relation("t", v1)
+        assert past.multiplicity((0, 0)) == 1
+        assert past.multiplicity((100, 1)) == 0
+        current = db.snapshot_relation("t", db.version)
+        assert current.multiplicity((100, 1)) == 1
+
+
+class TestQueriesAndUpdates:
+    def test_sql_query(self, db):
+        result = db.query("SELECT id, v FROM t WHERE v >= 80")
+        assert sorted(result.rows()) == [(8, 80), (9, 90)]
+
+    def test_execute_insert_and_delete_sql(self, db):
+        db.execute("INSERT INTO t VALUES (50, 500)")
+        assert db.table("t").lookup_by_key(50) == (50, 500)
+        db.execute("DELETE FROM t WHERE v = 500")
+        assert db.table("t").lookup_by_key(50) is None
+
+    def test_execute_insert_with_column_list(self, db):
+        db.execute("INSERT INTO t (v, id) VALUES (990, 99)")
+        assert db.table("t").lookup_by_key(99) == (99, 990)
+
+    def test_execute_select_returns_relation(self, db):
+        result = db.execute("SELECT id FROM t WHERE id < 2")
+        assert sorted(result.rows()) == [(0,), (1,)]
+
+    def test_delete_where_callable(self, db):
+        db.delete_where("t", lambda row: row[1] >= 50)
+        assert len(db.table("t")) == 5
+
+    def test_scan_counter_increases(self, db):
+        before = db.scan_count
+        db.query("SELECT * FROM t")
+        assert db.scan_count > before
+
+
+class TestStatistics:
+    def test_column_statistics(self, db):
+        stats = db.column_statistics("t", "v")
+        assert stats.row_count == 10
+        assert stats.minimum == 0 and stats.maximum == 90
+        assert stats.distinct_count == 10
+
+    def test_collect_column_statistics_handles_nulls(self):
+        stats = collect_column_statistics("x", [1, None, 3])
+        assert stats.null_count == 1
+        assert stats.distinct_count == 2
+
+    def test_equi_depth_ranges(self, db):
+        boundaries = db.equi_depth_ranges("t", "v", 5)
+        assert boundaries[0] == 0 and boundaries[-1] == 90
+        assert boundaries == sorted(boundaries)
+
+    def test_equi_depth_boundaries_on_skewed_data(self):
+        boundaries = equi_depth_boundaries([1] * 100 + [2, 3], 10)
+        assert boundaries[0] == 1 and boundaries[-1] == 3
+        assert len(boundaries) >= 2
+
+    def test_equi_depth_rejects_empty(self):
+        with pytest.raises(ValueError):
+            equi_depth_boundaries([], 4)
+
+    def test_equi_width(self):
+        assert equi_width_boundaries(0, 10, 2) == [0, 5, 10]
+        assert equi_width_boundaries(5, 5, 3) == [5, 5]
+        with pytest.raises(ValueError):
+            equi_width_boundaries(0, 10, 0)
+
+    def test_histogram_counts(self):
+        counts = histogram_counts([1, 2, 3, 4, 5], [1, 3, 5])
+        assert counts == [2, 3]
+        with pytest.raises(ValueError):
+            histogram_counts([1], [1])

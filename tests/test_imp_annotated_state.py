@@ -1,0 +1,265 @@
+"""Tests for annotated deltas and incremental operator state."""
+
+import pytest
+
+from repro.core.bitset import BitSet
+from repro.core.errors import StateError
+from repro.relational.algebra import AggregateFunction
+from repro.relational.schema import Schema
+from repro.imp.annotated import AnnotatedDelta, AnnotatedDeltaTuple
+from repro.imp.state import (
+    AggregationState,
+    CountStarAccumulator,
+    GroupState,
+    MergeState,
+    MinMaxAccumulator,
+    SumCountAccumulator,
+    TopKState,
+    make_accumulator,
+)
+
+SCHEMA = Schema(["a", "b"])
+
+
+class TestAnnotatedDelta:
+    def test_add_and_counts(self):
+        delta = AnnotatedDelta(SCHEMA)
+        delta.add_insert((1, 2), BitSet([0]), 2)
+        delta.add_delete((3, 4), BitSet([1]))
+        assert delta.insert_count == 2
+        assert delta.delete_count == 1
+        assert len(delta) == 3
+
+    def test_duplicate_entries_merge(self):
+        delta = AnnotatedDelta(SCHEMA)
+        delta.add_insert((1, 2), BitSet([0]))
+        delta.add_insert((1, 2), BitSet([0]), 3)
+        assert len(list(delta.tuples())) == 1
+        assert next(delta.inserts()).multiplicity == 4
+
+    def test_same_row_different_annotation_stays_distinct(self):
+        delta = AnnotatedDelta(SCHEMA)
+        delta.add_insert((1, 2), BitSet([0]))
+        delta.add_insert((1, 2), BitSet([1]))
+        assert len(list(delta.tuples())) == 2
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotatedDelta(SCHEMA).add(0, (1, 2), BitSet())
+
+    def test_zero_multiplicity_ignored(self):
+        delta = AnnotatedDelta(SCHEMA)
+        delta.add_insert((1, 2), BitSet(), 0)
+        assert not delta
+
+    def test_signed_entries_cancel(self):
+        delta = AnnotatedDelta(SCHEMA)
+        delta.add_insert((1, 2), BitSet([0]), 2)
+        delta.add_delete((1, 2), BitSet([0]), 2)
+        assert delta.signed_entries() == {}
+
+    def test_from_signed_roundtrip(self):
+        entries = {((1, 2), BitSet([0])): 2, ((3, 4), BitSet([1])): -1}
+        delta = AnnotatedDelta.from_signed(SCHEMA, entries)
+        assert delta.insert_count == 2
+        assert delta.delete_count == 1
+
+    def test_add_signed(self):
+        delta = AnnotatedDelta(SCHEMA)
+        delta.add_signed((1, 2), BitSet(), 3)
+        delta.add_signed((1, 2), BitSet(), -1)
+        delta.add_signed((1, 2), BitSet(), 0)
+        assert delta.insert_count == 3 and delta.delete_count == 1
+
+    def test_merge_and_extend(self):
+        first = AnnotatedDelta(SCHEMA)
+        first.add_insert((1, 1), BitSet([0]))
+        second = AnnotatedDelta(SCHEMA)
+        second.add_delete((2, 2), BitSet([1]))
+        first.merge(second)
+        first.extend([AnnotatedDeltaTuple(+1, (3, 3), BitSet([2]))])
+        assert len(first) == 3
+
+    def test_chunk_roundtrip(self):
+        delta = AnnotatedDelta(SCHEMA)
+        for i in range(10):
+            delta.add_insert((i, i * 2), BitSet([i % 3]), 1)
+        for i in range(5):
+            delta.add_delete((i, i), BitSet([i % 2]), 2)
+        chunks = delta.to_chunks(chunk_size=4)
+        rebuilt = AnnotatedDelta(SCHEMA)
+        for chunk in chunks:
+            rebuilt.extend(chunk.tuples())
+        assert rebuilt.insert_count == delta.insert_count
+        assert rebuilt.delete_count == delta.delete_count
+        assert {c.sign for c in chunks} == {+1, -1}
+        assert all(len(chunk) <= 4 for chunk in chunks)
+        assert chunks[0].row_at(0) == tuple(chunks[0].tuples().__next__().row)
+
+
+class TestAccumulators:
+    def test_sum_avg_accumulator(self):
+        accumulator = SumCountAccumulator(AggregateFunction.SUM)
+        accumulator.update(10, 2)
+        accumulator.update(None, 1)
+        accumulator.update(5, -1)
+        assert accumulator.result() == 15.0
+        avg = SumCountAccumulator(AggregateFunction.AVG)
+        avg.update(10, 1)
+        avg.update(20, 1)
+        assert avg.result() == 15.0
+
+    def test_sum_of_only_nulls_is_null(self):
+        accumulator = SumCountAccumulator(AggregateFunction.SUM)
+        accumulator.update(None, 3)
+        assert accumulator.result() is None
+
+    def test_count_accumulators(self):
+        count_attr = SumCountAccumulator(AggregateFunction.COUNT)
+        count_attr.update(None, 1)
+        count_attr.update(5, 2)
+        assert count_attr.result() == 2
+        count_star = CountStarAccumulator()
+        count_star.update(None, 1)
+        count_star.update(5, 2)
+        assert count_star.result() == 3
+
+    def test_minmax_accumulator_tracks_extremes(self):
+        minimum = MinMaxAccumulator(AggregateFunction.MIN)
+        for value in [5, 3, 9]:
+            minimum.update(value, 1)
+        assert minimum.result() == 3
+        minimum.update(3, -1)
+        assert minimum.result() == 5
+
+    def test_minmax_rejects_wrong_function(self):
+        with pytest.raises(StateError):
+            MinMaxAccumulator(AggregateFunction.SUM)
+
+    def test_minmax_buffer_eviction_and_exhaustion(self):
+        minimum = MinMaxAccumulator(AggregateFunction.MIN, buffer_limit=2)
+        for value in [1, 2, 3, 4]:
+            minimum.update(value, 1)
+        assert minimum.stored_count == 2
+        assert minimum.overflow_count == 2
+        # Delete both buffered values: the true minimum is now unknown.
+        minimum.update(1, -1)
+        minimum.update(2, -1)
+        assert minimum.exhausted
+        with pytest.raises(StateError):
+            minimum.result()
+
+    def test_minmax_buffer_survives_overflow_deletes(self):
+        maximum = MinMaxAccumulator(AggregateFunction.MAX, buffer_limit=2)
+        for value in [1, 2, 3, 4]:
+            maximum.update(value, 1)
+        # Deleting a non-buffered (small) value only decrements the overflow.
+        maximum.update(1, -1)
+        assert not maximum.exhausted
+        assert maximum.result() == 4
+
+    def test_make_accumulator_dispatch(self):
+        assert isinstance(
+            make_accumulator(AggregateFunction.MIN, True, 5), MinMaxAccumulator
+        )
+        assert isinstance(make_accumulator(AggregateFunction.COUNT, False), CountStarAccumulator)
+        assert isinstance(make_accumulator(AggregateFunction.SUM, True), SumCountAccumulator)
+
+    def test_payload_roundtrip(self):
+        accumulator = MinMaxAccumulator(AggregateFunction.MAX, buffer_limit=3)
+        accumulator.update(7, 2)
+        restored = MinMaxAccumulator.from_payload(accumulator.to_payload())
+        assert restored.result() == 7
+        sums = SumCountAccumulator(AggregateFunction.AVG)
+        sums.update(4, 2)
+        assert SumCountAccumulator.from_payload(sums.to_payload()).result() == 4.0
+
+
+class TestGroupAndMergeState:
+    def test_group_state_tracks_fragments_and_existence(self):
+        group = GroupState((1,), [SumCountAccumulator(AggregateFunction.SUM)])
+        group.apply([10], BitSet([2]), 1)
+        group.apply([20], BitSet([3]), 1)
+        assert group.exists
+        assert sorted(group.sketch()) == [2, 3]
+        group.apply([10], BitSet([2]), -1)
+        assert sorted(group.sketch()) == [3]
+        group.apply([20], BitSet([3]), -1)
+        assert not group.exists
+
+    def test_group_state_payload_roundtrip(self):
+        group = GroupState((1, "x"), [SumCountAccumulator(AggregateFunction.SUM)])
+        group.apply([5], BitSet([1]), 2)
+        restored = GroupState.from_payload(group.to_payload())
+        assert restored.output_values() == group.output_values()
+        assert sorted(restored.sketch()) == sorted(group.sketch())
+
+    def test_aggregation_state_payload_roundtrip(self):
+        state = AggregationState()
+        group = state.get_or_create((5,), lambda: [SumCountAccumulator(AggregateFunction.SUM)])
+        group.apply([2], BitSet([0]), 1)
+        restored = AggregationState.from_payload(state.to_payload())
+        assert len(restored) == 1
+        assert restored.get((5,)).output_values() == (2.0,)
+
+    def test_merge_state_counts(self):
+        merge = MergeState()
+        assert merge.update(3, 2) == 2
+        assert merge.update(3, -2) == 0
+        assert merge.count(3) == 0
+        merge.update(1, 1)
+        assert merge.active_fragments() == {1}
+        restored = MergeState.from_payload(merge.to_payload())
+        assert restored.active_fragments() == {1}
+
+    def test_memory_accounting_is_positive(self):
+        state = AggregationState()
+        group = state.get_or_create((1,), lambda: [SumCountAccumulator(AggregateFunction.SUM)])
+        group.apply([1], BitSet([0]), 1)
+        assert state.memory_bytes() > 0
+        assert MergeState().memory_bytes() > 0
+
+
+class TestTopKState:
+    def test_top_k_walks_in_order(self):
+        state = TopKState()
+        state.add((2,), ("b",), BitSet([1]), 1)
+        state.add((1,), ("a",), BitSet([0]), 2)
+        top = state.top_k(2)
+        assert top[0][0] == ("a",) and top[0][2] == 2
+
+    def test_remove_and_missing_entries(self):
+        state = TopKState()
+        state.add((1,), ("a",), BitSet(), 1)
+        state.remove((1,), ("a",), BitSet(), 1)
+        assert state.stored_count == 0
+        # Removing something never stored exhausts the state only when there
+        # is no overflow accounting for it.
+        state.remove((9,), ("z",), BitSet(), 1)
+        assert state.exhausted
+
+    def test_buffer_eviction_and_overflow(self):
+        state = TopKState(buffer_limit=2)
+        for i in range(5):
+            state.add((i,), (f"row{i}",), BitSet(), 1)
+        assert state.stored_count == 2
+        assert state.overflow_count == 3
+        assert state.can_answer(2)
+        # Deleting non-buffered tuples is fine.
+        state.remove((4,), ("row4",), BitSet(), 1)
+        assert not state.exhausted
+        # Deleting buffered tuples below k makes it unable to answer.
+        state.remove((0,), ("row0",), BitSet(), 1)
+        state.remove((1,), ("row1",), BitSet(), 1)
+        assert not state.can_answer(2)
+
+    def test_exhausted_topk_raises(self):
+        state = TopKState()
+        state.exhausted = True
+        with pytest.raises(StateError):
+            state.top_k(1)
+
+    def test_memory_bytes(self):
+        state = TopKState()
+        state.add((1,), ("payload" * 10,), BitSet([1]), 1)
+        assert state.memory_bytes() > 0

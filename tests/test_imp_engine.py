@@ -1,0 +1,395 @@
+"""Tests for the incremental engine: operator semantics and Theorem 6.1.
+
+The central invariant (fragment correctness / Theorem 6.1) is checked by
+comparing the incrementally maintained sketch against a freshly captured one
+after every update: the maintained sketch must be a superset of the accurate
+sketch, and for the supported operators it is in fact exactly equal.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.imp.engine import IMPConfig, IncrementalEngine
+from repro.sketch.capture import capture_sketch
+from repro.sketch.ranges import DatabasePartition, RangePartition
+from repro.sketch.selection import build_database_partition
+from repro.storage.database import Database
+from tests.conftest import Q_TOP, S8
+
+
+def maintained_matches_truth(engine, maintainer_sketch, plan, partition, database):
+    """Assert the over-approximation invariant and return whether it is exact."""
+    truth = capture_sketch(plan, partition, database)
+    maintained = set(maintainer_sketch.fragment_ids())
+    accurate = set(truth.fragment_ids())
+    assert maintained >= accurate, "maintained sketch misses provenance fragments"
+    return maintained == accurate
+
+
+class TestEngineBasics:
+    def test_initialize_captures_same_sketch_as_capture_query(
+        self, sales_db, sales_partition
+    ):
+        plan = sales_db.plan(Q_TOP)
+        engine = IncrementalEngine(plan, sales_partition, sales_db)
+        sketch = engine.initialize()
+        reference = capture_sketch(plan, sales_partition, sales_db)
+        assert set(sketch.fragment_ids()) == set(reference.fragment_ids())
+        assert engine.is_initialized
+
+    def test_maintain_before_initialize_rejected(self, sales_db, sales_partition):
+        engine = IncrementalEngine(sales_db.plan(Q_TOP), sales_partition, sales_db)
+        with pytest.raises(PlanError):
+            engine.maintain(sales_db.database_delta_since(["sales"], 0))
+
+    def test_paper_example_insertion_adds_rho2(self, sales_db, sales_partition):
+        plan = sales_db.plan(Q_TOP)
+        engine = IncrementalEngine(plan, sales_partition, sales_db)
+        engine.initialize()
+        version = sales_db.version
+        sales_db.insert("sales", [S8])
+        outcome = engine.maintain(sales_db.database_delta_since(["sales"], version))
+        assert outcome.sketch_delta.added == frozenset({1})
+        assert not outcome.sketch_delta.removed
+
+    def test_deletion_removes_unjustified_fragment(self, sales_db, sales_partition):
+        plan = sales_db.plan(Q_TOP)
+        engine = IncrementalEngine(plan, sales_partition, sales_db)
+        engine.initialize()
+        version = sales_db.version
+        # Deleting the MacBook Pro drops Apple below the HAVING threshold.
+        sales_db.delete_rows("sales", [(4, "Apple", "MacBook Pro 14-inch", 3875, 1)])
+        outcome = engine.maintain(sales_db.database_delta_since(["sales"], version))
+        assert outcome.sketch_delta.removed == frozenset({2, 3})
+
+    def test_empty_delta_produces_empty_sketch_delta(self, sales_db, sales_partition):
+        plan = sales_db.plan(Q_TOP)
+        engine = IncrementalEngine(plan, sales_partition, sales_db)
+        engine.initialize()
+        outcome = engine.maintain(sales_db.database_delta_since(["sales"], sales_db.version))
+        assert not outcome.sketch_delta
+
+    def test_explain_lists_operators(self, sales_db, sales_partition):
+        engine = IncrementalEngine(sales_db.plan(Q_TOP), sales_partition, sales_db)
+        text = engine.explain()
+        assert "MergeOperator" in text
+        assert "IncAggregation" in text
+        assert "IncTableAccess(sales)" in text
+
+    def test_reset_discards_state(self, sales_db, sales_partition):
+        engine = IncrementalEngine(sales_db.plan(Q_TOP), sales_partition, sales_db)
+        engine.initialize()
+        engine.reset()
+        assert not engine.is_initialized
+
+    def test_unsupported_plan_node_raises(self, sales_db, sales_partition):
+        class Strange:
+            pass
+
+        from repro.relational.algebra import PlanNode
+
+        class StrangeNode(PlanNode):
+            def children(self):
+                return ()
+
+            def output_schema(self, catalog):
+                raise NotImplementedError
+
+            def describe(self):
+                return "Strange"
+
+        with pytest.raises(PlanError):
+            IncrementalEngine(StrangeNode(), sales_partition, sales_db)
+
+
+def run_random_maintenance(
+    database: Database,
+    sql: str,
+    num_fragments: int,
+    steps: int,
+    rows: list,
+    make_row,
+    config: IMPConfig | None = None,
+    seed: int = 5,
+):
+    """Drive an engine through random insert/delete batches and check Theorem 6.1."""
+    rng = random.Random(seed)
+    plan = database.plan(sql)
+    partition = build_database_partition(database, plan, num_fragments)
+    engine = IncrementalEngine(plan, partition, database, config)
+    sketch = engine.initialize()
+    exact_steps = 0
+    next_id = 100_000
+    for _ in range(steps):
+        version = database.version
+        inserts = [make_row(rng, next_id + i) for i in range(rng.randrange(1, 12))]
+        next_id += len(inserts)
+        deletes = rng.sample(rows, min(len(rows), rng.randrange(0, 6)))
+        for victim in deletes:
+            rows.remove(victim)
+        rows.extend(inserts)
+        if inserts:
+            database.insert("r", inserts)
+        if deletes:
+            database.delete_rows("r", deletes)
+        outcome = engine.maintain(database.database_delta_since(plan.referenced_tables(), version))
+        assert not outcome.needs_recapture
+        sketch = sketch.apply_delta(outcome.sketch_delta)
+        if maintained_matches_truth(engine, sketch, plan, partition, database):
+            exact_steps += 1
+    return exact_steps, steps
+
+
+class TestTheorem61:
+    """Randomised checks of the correctness theorem per query class."""
+
+    def _synthetic(self, seed=3, rows=800, groups=25):
+        rng = random.Random(seed)
+        database = Database()
+        database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+        data = [
+            (i, rng.randrange(groups), rng.randrange(500), rng.randrange(1000))
+            for i in range(rows)
+        ]
+        database.insert("r", data)
+        return database, data
+
+    @staticmethod
+    def _make_row(rng, row_id):
+        return (row_id, rng.randrange(25), rng.randrange(500), rng.randrange(1000))
+
+    def test_group_by_having_avg(self):
+        database, data = self._synthetic()
+        exact, steps = run_random_maintenance(
+            database,
+            "SELECT a, avg(b) AS ab FROM r GROUP BY a HAVING avg(c) < 600",
+            12,
+            8,
+            data,
+            self._make_row,
+        )
+        assert exact == steps
+
+    def test_sum_count_multiple_aggregates(self):
+        database, data = self._synthetic(seed=11)
+        exact, steps = run_random_maintenance(
+            database,
+            "SELECT a, sum(b) AS sb, count(*) AS n FROM r GROUP BY a "
+            "HAVING sum(b) > 100 AND count(*) > 2",
+            10,
+            8,
+            data,
+            self._make_row,
+        )
+        assert exact == steps
+
+    def test_min_max_aggregates(self):
+        database, data = self._synthetic(seed=17)
+        exact, steps = run_random_maintenance(
+            database,
+            "SELECT a, min(b) AS lo, max(c) AS hi FROM r GROUP BY a HAVING max(c) > 500",
+            10,
+            8,
+            data,
+            self._make_row,
+        )
+        assert exact == steps
+
+    def test_where_selection_pushdown(self):
+        database, data = self._synthetic(seed=23)
+        exact, steps = run_random_maintenance(
+            database,
+            "SELECT a, avg(b) AS ab FROM r WHERE b < 250 GROUP BY a HAVING avg(c) < 700",
+            10,
+            8,
+            data,
+            self._make_row,
+            config=IMPConfig(selection_pushdown=True),
+        )
+        assert exact == steps
+
+    def test_topk_query(self):
+        database, data = self._synthetic(seed=29)
+        exact, steps = run_random_maintenance(
+            database,
+            "SELECT a, avg(b) AS ab FROM r GROUP BY a ORDER BY a LIMIT 5",
+            10,
+            6,
+            data,
+            self._make_row,
+        )
+        assert exact == steps
+
+    def test_distinct_query(self):
+        database, data = self._synthetic(seed=37)
+        exact, steps = run_random_maintenance(
+            database,
+            "SELECT DISTINCT a FROM r WHERE b < 400",
+            10,
+            6,
+            data,
+            self._make_row,
+        )
+        assert exact == steps
+
+
+class TestJoinMaintenance:
+    def _setup(self, seed=7):
+        rng = random.Random(seed)
+        database = Database()
+        database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+        database.create_table("s", ["sid", "d", "e"], primary_key="sid")
+        r_rows = [
+            (i, rng.randrange(20), rng.randrange(200), rng.randrange(400))
+            for i in range(500)
+        ]
+        s_rows = [(i, i % 150, rng.randrange(50)) for i in range(200)]
+        database.insert("r", r_rows)
+        database.insert("s", s_rows)
+        return database, r_rows, s_rows
+
+    def test_join_maintenance_exact_under_updates_on_both_sides(self):
+        database, r_rows, s_rows = self._setup()
+        rng = random.Random(41)
+        sql = (
+            "SELECT a, avg(e) AS ae FROM r JOIN s ON b = d "
+            "GROUP BY a HAVING avg(e) < 40"
+        )
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 10)
+        engine = IncrementalEngine(plan, partition, database)
+        sketch = engine.initialize()
+        for step in range(5):
+            version = database.version
+            new_r = [
+                (10_000 + step * 50 + j, rng.randrange(20), rng.randrange(200), rng.randrange(400))
+                for j in range(8)
+            ]
+            new_s = [(20_000 + step * 50 + j, rng.randrange(150), rng.randrange(50)) for j in range(4)]
+            dels_r = rng.sample(r_rows, 4)
+            for victim in dels_r:
+                r_rows.remove(victim)
+            database.insert("r", new_r)
+            database.insert("s", new_s)
+            database.delete_rows("r", dels_r)
+            r_rows.extend(new_r)
+            s_rows.extend(new_s)
+            outcome = engine.maintain(
+                database.database_delta_since(plan.referenced_tables(), version)
+            )
+            sketch = sketch.apply_delta(outcome.sketch_delta)
+            assert maintained_matches_truth(engine, sketch, plan, partition, database)
+        assert engine.statistics.backend_round_trips > 0
+
+    def test_bloom_filter_skips_round_trip_for_unjoinable_deltas(self):
+        database, r_rows, s_rows = self._setup(seed=13)
+        sql = "SELECT a, sum(e) AS se FROM r JOIN s ON b = d GROUP BY a HAVING sum(e) > 0"
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 10)
+        engine = IncrementalEngine(plan, partition, database, IMPConfig(use_bloom_filters=True))
+        engine.initialize()
+        version = database.version
+        # b = 9999 joins with nothing in s (d ranges over [0, 150)).
+        database.insert("r", [(77_777, 3, 9_999, 10)])
+        outcome = engine.maintain(database.database_delta_since(plan.referenced_tables(), version))
+        assert engine.statistics.bloom_filtered_tuples >= 1
+        assert engine.statistics.backend_round_trips == 0
+        assert not outcome.sketch_delta
+
+    def test_bloom_filters_disabled_forces_round_trip(self):
+        database, _r, _s = self._setup(seed=19)
+        sql = "SELECT a, sum(e) AS se FROM r JOIN s ON b = d GROUP BY a HAVING sum(e) > 0"
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 10)
+        engine = IncrementalEngine(plan, partition, database, IMPConfig(use_bloom_filters=False))
+        engine.initialize()
+        version = database.version
+        database.insert("r", [(88_888, 3, 9_999, 10)])
+        engine.maintain(database.database_delta_since(plan.referenced_tables(), version))
+        assert engine.statistics.backend_round_trips >= 1
+
+
+class TestBufferedStateRecapture:
+    def test_minmax_buffer_exhaustion_requests_recapture(self):
+        database = Database()
+        database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+        rows = [(i, i % 3, i, i) for i in range(60)]
+        database.insert("r", rows)
+        sql = "SELECT a, min(b) AS lo FROM r GROUP BY a HAVING min(b) < 100"
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 6)
+        engine = IncrementalEngine(plan, partition, database, IMPConfig(min_max_buffer=2))
+        engine.initialize()
+        version = database.version
+        # Delete the four smallest values of group 0: more than the buffer holds.
+        victims = sorted((row for row in rows if row[1] == 0), key=lambda r: r[2])[:4]
+        database.delete_rows("r", victims)
+        outcome = engine.maintain(database.database_delta_since(["r"], version))
+        assert outcome.needs_recapture
+
+    def test_topk_buffer_exhaustion_requests_recapture(self):
+        database = Database()
+        database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+        rows = [(i, i, i, i) for i in range(50)]
+        database.insert("r", rows)
+        sql = "SELECT a, avg(b) AS ab FROM r GROUP BY a ORDER BY a LIMIT 5"
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 5)
+        engine = IncrementalEngine(plan, partition, database, IMPConfig(topk_buffer=8))
+        engine.initialize()
+        version = database.version
+        # Delete the 10 smallest groups: the buffered head of the ranking is gone.
+        database.delete_rows("r", rows[:10])
+        outcome = engine.maintain(database.database_delta_since(["r"], version))
+        assert outcome.needs_recapture
+
+    def test_large_buffers_do_not_trigger_recapture(self):
+        database = Database()
+        database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+        rows = [(i, i % 5, i, i) for i in range(100)]
+        database.insert("r", rows)
+        sql = "SELECT a, min(b) AS lo FROM r GROUP BY a HAVING min(b) < 1000"
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 5)
+        engine = IncrementalEngine(plan, partition, database, IMPConfig(min_max_buffer=50))
+        engine.initialize()
+        version = database.version
+        database.delete_rows("r", rows[:3])
+        outcome = engine.maintain(database.database_delta_since(["r"], version))
+        assert not outcome.needs_recapture
+
+
+class TestStatisticsAndMemory:
+    def test_pushdown_filters_delta_tuples(self):
+        database = Database()
+        database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+        database.insert("r", [(i, i % 5, i % 100, i) for i in range(200)])
+        sql = "SELECT a, avg(c) AS ac FROM r WHERE b < 50 GROUP BY a HAVING avg(c) > 0"
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 5)
+        with_pd = IncrementalEngine(plan, partition, database, IMPConfig(selection_pushdown=True))
+        without_pd = IncrementalEngine(
+            plan, partition, database, IMPConfig(selection_pushdown=False)
+        )
+        with_pd.initialize()
+        without_pd.initialize()
+        version = database.version
+        database.insert("r", [(1_000 + i, i % 5, 60 + i % 40, i) for i in range(20)])
+        delta = database.database_delta_since(["r"], version)
+        with_pd.maintain(delta)
+        without_pd.maintain(delta)
+        assert with_pd.statistics.delta_tuples_filtered == 20
+        assert without_pd.statistics.delta_tuples_filtered == 0
+        assert with_pd.statistics.delta_tuples_fetched == 0
+
+    def test_memory_accounting_grows_with_groups(self, synthetic_db):
+        database, _rows = synthetic_db
+        sql = "SELECT a, avg(b) AS ab FROM r GROUP BY a HAVING avg(c) < 900"
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 10)
+        engine = IncrementalEngine(plan, partition, database)
+        assert engine.memory_bytes() >= 0
+        engine.initialize()
+        assert engine.memory_bytes() > 1000

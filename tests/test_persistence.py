@@ -1,0 +1,216 @@
+"""Tests for persisting and restoring incremental maintenance state.
+
+The paper's middleware can persist operator state in the backend database and
+resume incremental maintenance from it after a restart or state eviction
+(Sec. 2).  These tests verify that a round trip through the persisted
+representation preserves maintenance correctness: a restored engine continues
+to produce sketches identical to those of an engine that never left memory.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import StateError
+from repro.imp.engine import IMPConfig, IncrementalEngine
+from repro.imp.maintenance import IncrementalMaintainer
+from repro.imp.persistence import (
+    STATE_TABLE,
+    StatePersistence,
+    dump_engine_state,
+    load_engine_state,
+)
+from repro.sketch.capture import capture_sketch
+from repro.sketch.selection import build_database_partition
+from repro.storage.database import Database
+from repro.workloads.queries import q_groups, q_joinsel, q_topk
+from repro.workloads.synthetic import load_join_helper, load_synthetic
+
+
+@pytest.fixture()
+def loaded_db():
+    database = Database()
+    table = load_synthetic(database, num_rows=1200, num_groups=60, seed=21)
+    load_join_helper(database, num_rows=300, join_domain=60, seed=22)
+    return database, table
+
+
+QUERIES = [
+    q_groups(threshold=900),
+    q_joinsel(filter_threshold=2000, having_threshold=2000),
+    q_topk(k=5),
+    "SELECT DISTINCT a FROM r WHERE b < 600",
+    "SELECT a, min(b) AS lo, max(c) AS hi FROM r GROUP BY a HAVING max(c) > 100",
+]
+
+
+class TestEngineStateRoundTrip:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_restored_engine_matches_live_engine(self, loaded_db, sql):
+        database, table = loaded_db
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 16)
+        live = IncrementalEngine(plan, partition, database, IMPConfig(topk_buffer=50))
+        live.initialize()
+        payload = dump_engine_state(live)
+
+        restored = IncrementalEngine(plan, partition, database, IMPConfig(topk_buffer=50))
+        load_engine_state(restored, payload)
+        assert restored.is_initialized
+        assert set(restored.current_sketch().fragment_ids()) == set(
+            live.current_sketch().fragment_ids()
+        )
+
+        # Both engines must evolve identically under the same delta.
+        version = database.version
+        deletes = table.pick_deletes(8)
+        inserts = table.make_inserts(15)
+        database.delete_rows("r", deletes)
+        database.insert("r", inserts)
+        delta = database.database_delta_since(plan.referenced_tables(), version)
+        live_outcome = live.maintain(delta)
+        restored_outcome = restored.maintain(delta)
+        assert live_outcome.sketch_delta.added == restored_outcome.sketch_delta.added
+        assert live_outcome.sketch_delta.removed == restored_outcome.sketch_delta.removed
+
+        accurate = capture_sketch(plan, partition, database)
+        maintained = restored.current_sketch()
+        assert set(maintained.fragment_ids()) >= set(accurate.fragment_ids())
+
+    def test_dump_requires_initialization(self, loaded_db):
+        database, _table = loaded_db
+        plan = database.plan(q_groups())
+        partition = build_database_partition(database, plan, 8)
+        engine = IncrementalEngine(plan, partition, database)
+        with pytest.raises(StateError):
+            dump_engine_state(engine)
+
+    def test_load_rejects_mismatched_plans(self, loaded_db):
+        database, _table = loaded_db
+        plan_a = database.plan(q_groups())
+        plan_b = database.plan(q_joinsel(filter_threshold=2000, having_threshold=2000))
+        partition = build_database_partition(database, plan_a, 8)
+        engine_a = IncrementalEngine(plan_a, partition, database)
+        engine_a.initialize()
+        payload = dump_engine_state(engine_a)
+        partition_b = build_database_partition(database, plan_b, 8)
+        engine_b = IncrementalEngine(plan_b, partition_b, database)
+        with pytest.raises(StateError):
+            load_engine_state(engine_b, payload)
+
+    def test_payload_is_json_serialisable(self, loaded_db):
+        import json
+
+        database, _table = loaded_db
+        plan = database.plan(QUERIES[4])
+        partition = build_database_partition(database, plan, 8)
+        engine = IncrementalEngine(plan, partition, database)
+        engine.initialize()
+        payload = dump_engine_state(engine)
+        restored_payload = json.loads(json.dumps(payload))
+        fresh = IncrementalEngine(plan, partition, database)
+        load_engine_state(fresh, restored_payload)
+        assert set(fresh.current_sketch().fragment_ids()) == set(
+            engine.current_sketch().fragment_ids()
+        )
+
+
+class TestBackendPersistence:
+    def test_save_and_restore_maintainer(self, loaded_db):
+        database, table = loaded_db
+        sql = q_groups(threshold=900)
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 16)
+        maintainer = IncrementalMaintainer(database, plan, partition)
+        maintainer.capture()
+
+        persistence = StatePersistence(database)
+        persistence.save_maintainer("q_groups", sql, maintainer)
+        assert database.has_table(STATE_TABLE)
+        assert persistence.saved_keys() == ["q_groups"]
+
+        # Simulate a restart: updates land while no maintainer is in memory.
+        deletes = table.pick_deletes(10)
+        database.delete_rows("r", deletes)
+        database.insert("r", table.make_inserts(20))
+
+        restored_sql, restored = persistence.load_maintainer("q_groups")
+        assert restored_sql == sql
+        assert restored.is_captured
+        assert restored.is_stale()
+        result = restored.maintain()
+        accurate = capture_sketch(plan, partition, database)
+        assert set(result.sketch.fragment_ids()) >= set(accurate.fragment_ids())
+        assert not result.recaptured
+
+    def test_save_overwrites_previous_version(self, loaded_db):
+        database, table = loaded_db
+        sql = q_groups(threshold=900)
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 16)
+        maintainer = IncrementalMaintainer(database, plan, partition)
+        maintainer.capture()
+        persistence = StatePersistence(database)
+        persistence.save_maintainer("entry", sql, maintainer)
+        database.insert("r", table.make_inserts(5))
+        maintainer.maintain()
+        persistence.save_maintainer("entry", sql, maintainer)
+        assert len(persistence.saved_keys()) == 1
+        _sql, restored = persistence.load_maintainer("entry")
+        assert restored.valid_at_version == maintainer.valid_at_version
+
+    def test_restored_join_query_skips_bloom_but_stays_correct(self, loaded_db):
+        database, table = loaded_db
+        sql = q_joinsel(filter_threshold=2000, having_threshold=2000)
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 16)
+        maintainer = IncrementalMaintainer(database, plan, partition)
+        maintainer.capture()
+        persistence = StatePersistence(database)
+        persistence.save_maintainer("join", sql, maintainer)
+
+        database.insert("r", table.make_inserts(15))
+        _sql, restored = persistence.load_maintainer("join")
+        result = restored.maintain()
+        accurate = capture_sketch(plan, partition, database)
+        assert set(result.sketch.fragment_ids()) >= set(accurate.fragment_ids())
+
+    def test_missing_key_and_forget(self, loaded_db):
+        database, _table = loaded_db
+        persistence = StatePersistence(database)
+        with pytest.raises(StateError):
+            persistence.load_maintainer("missing")
+        persistence.forget("missing")  # no error
+
+    def test_unsaved_maintainer_rejected(self, loaded_db):
+        database, _table = loaded_db
+        sql = q_groups()
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 8)
+        maintainer = IncrementalMaintainer(database, plan, partition)
+        persistence = StatePersistence(database)
+        with pytest.raises(StateError):
+            persistence.save_maintainer("x", sql, maintainer)
+
+
+class TestEvictionWorkflow:
+    def test_periodic_persist_evict_restore_cycle(self, loaded_db):
+        """Simulates the paper's eviction scenario over several cycles."""
+        database, table = loaded_db
+        rng = random.Random(77)
+        sql = q_groups(threshold=900)
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 16)
+        maintainer = IncrementalMaintainer(database, plan, partition)
+        maintainer.capture()
+        persistence = StatePersistence(database)
+        for cycle in range(3):
+            persistence.save_maintainer("cycled", sql, maintainer)
+            del maintainer  # evicted from memory
+            deletes = table.pick_deletes(rng.randrange(3, 8))
+            database.delete_rows("r", deletes)
+            database.insert("r", table.make_inserts(rng.randrange(5, 15)))
+            _sql, maintainer = persistence.load_maintainer("cycled")
+            result = maintainer.maintain()
+            accurate = capture_sketch(plan, partition, database)
+            assert set(result.sketch.fragment_ids()) >= set(accurate.fragment_ids())

@@ -1,0 +1,125 @@
+"""Property-based end-to-end checks of incremental maintenance (Theorem 6.1).
+
+Hypothesis drives random update sequences against randomly-shaped synthetic
+data and checks, after every maintenance step, that
+
+* the maintained sketch over-approximates a freshly captured accurate sketch
+  (the formal guarantee of Theorem 6.1), and
+* answering the query through the maintained sketch returns exactly the same
+  result as evaluating it over the full database (safety of the sketch).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imp.engine import IMPConfig, IncrementalEngine
+from repro.sketch.capture import capture_sketch
+from repro.sketch.selection import build_database_partition
+from repro.sketch.use import instrument_plan
+from repro.storage.database import Database
+
+QUERIES = [
+    "SELECT a, avg(b) AS ab FROM r GROUP BY a HAVING avg(c) < 550",
+    "SELECT a, sum(b) AS sb FROM r GROUP BY a HAVING sum(b) > 400",
+    "SELECT a, count(*) AS n, max(c) AS mx FROM r GROUP BY a HAVING count(*) > 1",
+    "SELECT a, avg(b) AS ab FROM r WHERE b < 300 GROUP BY a HAVING avg(c) < 700",
+    "SELECT a, avg(b) AS ab FROM r GROUP BY a ORDER BY a LIMIT 4",
+]
+
+update_batches = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=6)),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_database(seed: int, num_rows: int, num_groups: int):
+    rng = random.Random(seed)
+    database = Database()
+    database.create_table("r", ["id", "a", "b", "c"], primary_key="id")
+    rows = [
+        (i, rng.randrange(num_groups), rng.randrange(500), rng.randrange(1000))
+        for i in range(num_rows)
+    ]
+    database.insert("r", rows)
+    return database, rows, rng
+
+
+class TestMaintenanceProperties:
+    @given(
+        query=st.sampled_from(QUERIES),
+        seed=st.integers(min_value=0, max_value=10_000),
+        batches=update_batches,
+        fragments=st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_maintained_sketch_overapproximates_and_stays_safe(
+        self, query, seed, batches, fragments
+    ):
+        database, rows, rng = build_database(seed, num_rows=250, num_groups=12)
+        plan = database.plan(query)
+        partition = build_database_partition(database, plan, fragments)
+        engine = IncrementalEngine(plan, partition, database)
+        sketch = engine.initialize()
+        next_id = 10_000
+        for insert_count, delete_count in batches:
+            version = database.version
+            inserts = [
+                (next_id + i, rng.randrange(12), rng.randrange(500), rng.randrange(1000))
+                for i in range(insert_count)
+            ]
+            next_id += insert_count
+            deletes = rng.sample(rows, min(delete_count, len(rows)))
+            for victim in deletes:
+                rows.remove(victim)
+            rows.extend(inserts)
+            if inserts:
+                database.insert("r", inserts)
+            if deletes:
+                database.delete_rows("r", deletes)
+            if not inserts and not deletes:
+                continue
+            outcome = engine.maintain(database.database_delta_since(["r"], version))
+            if outcome.needs_recapture:
+                engine.reset()
+                sketch = engine.initialize()
+            else:
+                sketch = sketch.apply_delta(outcome.sketch_delta)
+
+            accurate = capture_sketch(plan, partition, database)
+            assert set(sketch.fragment_ids()) >= set(accurate.fragment_ids())
+
+            through_sketch = database.query(instrument_plan(plan, sketch))
+            full = database.query(plan)
+            assert through_sketch == full
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000),
+        buffer_limit=st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_buffered_minmax_is_always_safe_or_recaptured(self, seed, buffer_limit):
+        database, rows, rng = build_database(seed, num_rows=150, num_groups=6)
+        query = "SELECT a, min(b) AS lo FROM r GROUP BY a HAVING min(b) < 400"
+        plan = database.plan(query)
+        partition = build_database_partition(database, plan, 6)
+        engine = IncrementalEngine(
+            plan, partition, database, IMPConfig(min_max_buffer=buffer_limit)
+        )
+        sketch = engine.initialize()
+        for _ in range(3):
+            version = database.version
+            deletes = rng.sample(rows, min(len(rows), rng.randrange(1, 12)))
+            for victim in deletes:
+                rows.remove(victim)
+            database.delete_rows("r", deletes)
+            outcome = engine.maintain(database.database_delta_since(["r"], version))
+            if outcome.needs_recapture:
+                engine.reset()
+                sketch = engine.initialize()
+            else:
+                sketch = sketch.apply_delta(outcome.sketch_delta)
+            through_sketch = database.query(instrument_plan(plan, sketch))
+            assert through_sketch == database.query(plan)

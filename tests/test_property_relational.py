@@ -1,0 +1,90 @@
+"""Property-based tests for relations, deltas and range partitions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.schema import Relation, Schema
+from repro.sketch.ranges import RangePartition
+from repro.storage.delta import Delta
+
+SCHEMA = Schema(["a", "b"])
+
+rows = st.tuples(st.integers(0, 20), st.integers(0, 20))
+bags = st.dictionaries(rows, st.integers(min_value=1, max_value=4), max_size=25)
+
+
+def relation_of(bag: dict) -> Relation:
+    return Relation(SCHEMA, bag)
+
+
+class TestRelationProperties:
+    @given(bags, bags)
+    def test_union_is_commutative(self, a, b):
+        assert relation_of(a).union(relation_of(b)) == relation_of(b).union(relation_of(a))
+
+    @given(bags, bags)
+    def test_union_cardinality_adds(self, a, b):
+        combined = relation_of(a).union(relation_of(b))
+        assert len(combined) == len(relation_of(a)) + len(relation_of(b))
+
+    @given(bags, bags)
+    def test_difference_never_negative(self, a, b):
+        result = relation_of(a).difference(relation_of(b))
+        assert all(multiplicity > 0 for _row, multiplicity in result.items())
+
+    @given(bags)
+    def test_difference_with_self_is_empty(self, a):
+        assert len(relation_of(a).difference(relation_of(a))) == 0
+
+
+class TestDeltaProperties:
+    @given(bags, bags)
+    @settings(max_examples=60)
+    def test_delta_between_then_apply_roundtrips(self, old_bag, new_bag):
+        old = relation_of(old_bag)
+        new = relation_of(new_bag)
+        delta = Delta.between(old, new)
+        assert delta.apply_to(old) == new
+
+    @given(bags)
+    def test_delta_between_identical_states_is_empty(self, bag):
+        assert not Delta.between(relation_of(bag), relation_of(bag))
+
+    @given(bags, bags)
+    def test_delta_size_bounds_symmetric_difference(self, old_bag, new_bag):
+        old = relation_of(old_bag)
+        new = relation_of(new_bag)
+        delta = Delta.between(old, new)
+        assert len(delta) <= len(old) + len(new)
+
+
+boundary_lists = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=2, max_size=12
+).map(sorted).filter(lambda values: values[0] < values[-1])
+
+
+class TestRangePartitionProperties:
+    @given(boundary_lists, st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=80)
+    def test_every_in_domain_value_has_exactly_one_fragment(self, boundaries, value):
+        partition = RangePartition("t", "a", boundaries)
+        low, high = partition.boundaries[0], partition.boundaries[-1]
+        if not low <= value <= high:
+            return
+        index = partition.fragment_of(value)
+        matching = [r.index for r in partition.ranges() if r.contains(value)]
+        assert matching == [index]
+
+    @given(boundary_lists)
+    def test_fragments_cover_domain_without_overlap(self, boundaries):
+        partition = RangePartition("t", "a", boundaries)
+        ranges = list(partition.ranges())
+        for first, second in zip(ranges, ranges[1:]):
+            assert first.high == second.low
+        assert ranges[0].low == partition.boundaries[0]
+        assert ranges[-1].high == partition.boundaries[-1]
+
+    @given(boundary_lists)
+    def test_boundary_count_matches_fragment_count(self, boundaries):
+        partition = RangePartition("t", "a", boundaries)
+        assert len(partition.boundaries) == partition.num_fragments + 1

@@ -1,0 +1,165 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.relational.expressions import Between, Comparison, FunctionCall, LogicalOp
+from repro.sql.ast import (
+    DeleteStatement,
+    InsertStatement,
+    JoinSource,
+    SelectStatement,
+    SubquerySource,
+    TableSource,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_select, parse_statement
+
+
+class TestLexer:
+    def test_keywords_and_identifiers_are_lowercased(self):
+        tokens = tokenize("SELECT Brand FROM Sales")
+        assert [t.type for t in tokens[:-1]] == ["KEYWORD", "IDENT", "KEYWORD", "IDENT"]
+        assert tokens[1].value == "brand"
+        assert tokens[3].value == "sales"
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("42 3.14 'O''Hare'")
+        assert tokens[0].value == "42"
+        assert tokens[1].value == "3.14"
+        assert tokens[2].type == "STRING"
+        assert tokens[2].value == "O'Hare"
+
+    def test_operators(self):
+        tokens = tokenize("a >= 1 AND b <> 2")
+        ops = [t.value for t in tokens if t.type == "OP"]
+        assert ops == [">=", "<>"]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT a -- trailing comment\nFROM r")
+        assert [t.value for t in tokens if t.type == "IDENT"] == ["a", "r"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT a FROM r WHERE a ~ 3")
+
+    def test_eof_token_terminates_stream(self):
+        assert tokenize("SELECT")[-1].type == "EOF"
+
+
+class TestParseSelect:
+    def test_simple_select(self):
+        statement = parse_select("SELECT a, b AS bee FROM r WHERE a > 3")
+        assert isinstance(statement, SelectStatement)
+        assert [item.alias for item in statement.select_items] == [None, "bee"]
+        assert isinstance(statement.where, Comparison)
+        assert isinstance(statement.from_sources[0], TableSource)
+
+    def test_select_star(self):
+        statement = parse_select("SELECT * FROM r")
+        assert statement.select_items[0].expression.name == "*"
+
+    def test_group_by_having(self):
+        statement = parse_select(
+            "SELECT a, sum(b) AS sb FROM r GROUP BY a HAVING sum(b) > 10 AND avg(c) < 5"
+        )
+        assert len(statement.group_by) == 1
+        assert isinstance(statement.having, LogicalOp)
+        assert isinstance(statement.select_items[1].expression, FunctionCall)
+
+    def test_order_by_limit(self):
+        statement = parse_select("SELECT a FROM r ORDER BY a DESC, b LIMIT 7")
+        assert statement.limit == 7
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+
+    def test_explicit_join(self):
+        statement = parse_select("SELECT a FROM r JOIN s ON r.a = s.b")
+        source = statement.from_sources[0]
+        assert isinstance(source, JoinSource)
+        assert isinstance(source.condition, Comparison)
+
+    def test_comma_join(self):
+        statement = parse_select("SELECT a FROM r, s, t WHERE a = b")
+        assert len(statement.from_sources) == 3
+
+    def test_subquery_in_from(self):
+        statement = parse_select(
+            "SELECT a FROM (SELECT a, b FROM r WHERE b < 10) tt JOIN s ON a = c"
+        )
+        join = statement.from_sources[0]
+        assert isinstance(join, JoinSource)
+        assert isinstance(join.left, SubquerySource)
+        assert join.left.alias == "tt"
+
+    def test_between_and_in(self):
+        statement = parse_select(
+            "SELECT a FROM r WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)"
+        )
+        where = statement.where
+        assert isinstance(where, LogicalOp)
+        assert isinstance(where.operands[0], Between)
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM r").distinct
+
+    def test_alias_without_as(self):
+        statement = parse_select("SELECT a aa FROM r rr")
+        assert statement.select_items[0].alias == "aa"
+        assert statement.from_sources[0].alias == "rr"
+
+    def test_count_star(self):
+        statement = parse_select("SELECT count(*) AS n FROM r")
+        call = statement.select_items[0].expression
+        assert isinstance(call, FunctionCall)
+        assert call.star
+
+    def test_malformed_queries_raise(self):
+        for sql in [
+            "SELECT FROM r",
+            "SELECT a r",
+            "SELECT a FROM r WHERE",
+            "SELECT a FROM r GROUP a",
+            "SELECT a FROM r LIMIT x",
+            "FROM r SELECT a",
+        ]:
+            with pytest.raises(ParseError):
+                parse_select(sql)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM r extra tokens here")
+
+    def test_semicolon_is_tolerated(self):
+        assert isinstance(parse_select("SELECT a FROM r;"), SelectStatement)
+
+
+class TestParseUpdates:
+    def test_insert_with_columns(self):
+        statement = parse_statement(
+            "INSERT INTO sales (sid, brand, price) VALUES (8, 'HP', 1299), (9, 'HP', 99)"
+        )
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ["sid", "brand", "price"]
+        assert statement.rows == [(8, "HP", 1299), (9, "HP", 99)]
+
+    def test_insert_without_columns_and_negative_values(self):
+        statement = parse_statement("INSERT INTO t VALUES (1, -2.5, NULL)")
+        assert statement.rows == [(1, -2.5, None)]
+
+    def test_delete_with_where(self):
+        statement = parse_statement("DELETE FROM sales WHERE price > 1000")
+        assert isinstance(statement, DeleteStatement)
+        assert isinstance(statement.where, Comparison)
+
+    def test_delete_without_where(self):
+        statement = parse_statement("DELETE FROM sales")
+        assert statement.where is None
+
+    def test_unknown_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("UPDATE t SET a = 1")

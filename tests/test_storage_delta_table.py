@@ -1,0 +1,162 @@
+"""Tests for deltas, stored tables and the audit log."""
+
+import pytest
+
+from repro.core.errors import SchemaError, StorageError
+from repro.relational.schema import Relation, Schema
+from repro.storage.delta import DELETE, INSERT, DatabaseDelta, Delta, DeltaTuple
+from repro.storage.snapshots import AuditLog, AuditRecord
+from repro.storage.table import StoredTable
+
+
+class TestDeltaTuple:
+    def test_sign_validation(self):
+        with pytest.raises(ValueError):
+            DeltaTuple(0, (1,))
+        with pytest.raises(ValueError):
+            DeltaTuple(INSERT, (1,), 0)
+
+    def test_flags(self):
+        assert DeltaTuple(INSERT, (1,)).is_insert
+        assert DeltaTuple(DELETE, (1,)).is_delete
+
+
+class TestDelta:
+    def test_add_and_counts(self):
+        delta = Delta(Schema(["a"]))
+        delta.add_insert((1,), 2)
+        delta.add_delete((2,))
+        assert delta.insert_count == 2
+        assert delta.delete_count == 1
+        assert len(delta) == 3
+        assert bool(delta)
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Delta(Schema(["a"])).add_insert((1, 2))
+
+    def test_between_computes_symmetric_difference(self):
+        schema = Schema(["a"])
+        old = Relation(schema, {(1,): 2, (2,): 1})
+        new = Relation(schema, {(1,): 1, (3,): 1})
+        delta = Delta.between(old, new)
+        assert dict(delta.deletes()) == {(1,): 1, (2,): 1}
+        assert dict(delta.inserts()) == {(3,): 1}
+
+    def test_apply_to_roundtrip(self):
+        schema = Schema(["a"])
+        old = Relation(schema, {(1,): 2, (2,): 1})
+        new = Relation(schema, {(2,): 3, (4,): 1})
+        delta = Delta.between(old, new)
+        assert delta.apply_to(old) == new
+
+    def test_merge(self):
+        schema = Schema(["a"])
+        first = Delta.from_rows(schema, inserts=[(1,)])
+        second = Delta.from_rows(schema, deletes=[(2,)])
+        first.merge(second)
+        assert first.insert_count == 1 and first.delete_count == 1
+
+    def test_tuples_iteration(self):
+        delta = Delta.from_rows(Schema(["a"]), inserts=[(1,)], deletes=[(2,)])
+        signs = sorted(t.sign for t in delta.tuples())
+        assert signs == [DELETE, INSERT]
+
+    def test_insert_and_delete_relations(self):
+        delta = Delta.from_rows(Schema(["a"]), inserts=[(1,), (1,)], deletes=[(2,)])
+        assert delta.insert_relation().multiplicity((1,)) == 2
+        assert delta.delete_relation().multiplicity((2,)) == 1
+
+
+class TestDatabaseDelta:
+    def test_requires_schema_for_new_table(self):
+        dd = DatabaseDelta()
+        with pytest.raises(SchemaError):
+            dd.delta_for("r")
+        delta = dd.delta_for("r", Schema(["a"]))
+        delta.add_insert((1,))
+        assert "r" in dd
+        assert len(dd) == 1
+
+    def test_set_and_get(self):
+        dd = DatabaseDelta()
+        delta = Delta.from_rows(Schema(["a"]), inserts=[(1,)])
+        dd.set_delta("r", delta)
+        assert dd.get("r") is delta
+        assert dd.get("unknown") is None
+        assert list(dd.tables()) == ["r"]
+
+
+class TestStoredTable:
+    def test_insert_delete_roundtrip(self):
+        table = StoredTable("t", ["id", "v"], primary_key="id")
+        table.insert((1, "a"))
+        table.insert((2, "b"), 2)
+        assert len(table) == 3
+        assert table.lookup_by_key(2) == (2, "b")
+        assert table.delete((2, "b")) == 1
+        assert len(table) == 2
+
+    def test_delete_where(self):
+        table = StoredTable("t", ["id", "v"])
+        table.insert_many([(1, 5), (2, 50), (3, 500)])
+        deleted = table.delete_where(lambda row: row[1] > 10)
+        assert sorted(deleted) == [(2, 50), (3, 500)]
+        assert len(table) == 1
+
+    def test_apply_delta_checks_existence(self):
+        table = StoredTable("t", ["id"])
+        table.insert((1,))
+        bad = Delta.from_rows(Schema(["id"]), deletes=[(9,)])
+        with pytest.raises(StorageError):
+            table.apply_delta(bad)
+
+    def test_attribute_bounds_and_values(self):
+        table = StoredTable("t", ["id", "v"])
+        table.insert_many([(1, 10), (2, None), (3, 30)])
+        assert table.attribute_bounds("v") == (10, 30)
+        assert sorted(table.column_values("v")) == [10, 30]
+        empty = StoredTable("e", ["x"])
+        assert empty.attribute_bounds("x") is None
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            StoredTable("t", ["a"], primary_key="nope")
+
+    def test_truncate(self):
+        table = StoredTable("t", ["a"])
+        table.insert((1,))
+        table.truncate()
+        assert len(table) == 0
+
+
+class TestAuditLog:
+    def make_record(self, version: int, value: int) -> AuditRecord:
+        delta = Delta.from_rows(Schema(["a"]), inserts=[(value,)])
+        return AuditRecord(version, {"r": delta})
+
+    def test_versions_must_increase(self):
+        log = AuditLog()
+        log.append(self.make_record(1, 10))
+        with pytest.raises(StorageError):
+            log.append(self.make_record(1, 11))
+
+    def test_delta_between_combines_records(self):
+        log = AuditLog()
+        for version in range(1, 5):
+            log.append(self.make_record(version, version * 10))
+        delta = log.delta_between("r", Schema(["a"]), since=1, until=3)
+        assert dict(delta.inserts()) == {(20,): 1, (30,): 1}
+
+    def test_tables_changed_between(self):
+        log = AuditLog()
+        log.append(self.make_record(1, 10))
+        assert log.tables_changed_between(0, 1) == {"r"}
+        assert log.tables_changed_between(1, 1) == set()
+
+    def test_prune(self):
+        log = AuditLog()
+        for version in range(1, 6):
+            log.append(self.make_record(version, version))
+        assert log.prune_before(3) == 3
+        assert len(log) == 2

@@ -1,0 +1,269 @@
+"""Tests for the workload generators and query templates."""
+
+import pytest
+
+from repro.imp.middleware import IMPSystem, NoSketchSystem
+from repro.storage.database import Database
+from repro.workloads.crimes import CRIMES_Q1, CRIMES_Q2, crimes_q2, load_crimes
+from repro.workloads.mixed import MixedWorkload, WorkloadRunner, parse_ratio
+from repro.workloads.queries import (
+    q_endtoend,
+    q_groups,
+    q_having,
+    q_join,
+    q_joinsel,
+    q_selpd,
+    q_sketch,
+    q_space,
+    q_topk,
+)
+from repro.workloads.synthetic import load_join_helper, load_synthetic
+from repro.workloads.tpch import (
+    TPCH_QUERIES,
+    load_tpch,
+    tpch_having_revenue,
+    tpch_order_volume,
+    tpch_q10,
+    tpch_top_customers,
+)
+
+
+class TestSynthetic:
+    def test_generation_is_deterministic(self):
+        first = Database()
+        second = Database()
+        a = load_synthetic(first, num_rows=200, num_groups=10, seed=5)
+        b = load_synthetic(second, num_rows=200, num_groups=10, seed=5)
+        assert a.rows == b.rows
+        assert len(first.table("r")) == 200
+
+    def test_group_attribute_stays_in_range(self):
+        database = Database()
+        table = load_synthetic(database, num_rows=300, num_groups=7)
+        assert all(0 <= row[1] < 7 for row in table.rows)
+        assert len(table.group_values()) <= 7
+
+    def test_schema_has_eleven_columns(self):
+        database = Database()
+        table = load_synthetic(database, num_rows=10, num_groups=2)
+        assert len(table.columns) == 11
+        assert database.schema_of("r").attributes[0] == "id"
+
+    def test_inserts_extend_and_deletes_shrink(self):
+        database = Database()
+        table = load_synthetic(database, num_rows=100, num_groups=5)
+        inserts = table.make_inserts(10)
+        assert len(inserts) == 10
+        assert len(table) == 110
+        ids = {row[0] for row in table.rows}
+        assert len(ids) == 110  # fresh ids, no collisions
+        deletes = table.pick_deletes(20)
+        assert len(deletes) == 20
+        assert len(table) == 90
+
+    def test_delete_smallest_groups(self):
+        database = Database()
+        table = load_synthetic(database, num_rows=200, num_groups=10)
+        before_groups = sorted(table.group_values())
+        victims = table.pick_deletes_from_smallest_groups(2)
+        assert victims
+        remaining_groups = table.group_values()
+        assert before_groups[0] not in remaining_groups
+        assert before_groups[1] not in remaining_groups
+
+    def test_join_helper_selectivity(self):
+        database = Database()
+        load_synthetic(database, num_rows=100, num_groups=50)
+        rows = load_join_helper(
+            database, num_rows=400, join_selectivity=0.25, join_domain=50
+        )
+        inside = sum(1 for row in rows if row[1] < 50)
+        assert 0.1 < inside / len(rows) < 0.4
+
+
+class TestQueryTemplates:
+    @pytest.fixture()
+    def synthetic(self) -> Database:
+        database = Database()
+        load_synthetic(database, num_rows=500, num_groups=20, seed=9)
+        load_join_helper(database, num_rows=200, join_domain=20)
+        return database
+
+    def test_all_single_table_templates_parse_and_run(self, synthetic):
+        for sql in [
+            q_having(1),
+            q_having(3),
+            q_having(10),
+            q_groups(),
+            q_selpd(),
+            q_endtoend(),
+            q_topk(k=5),
+        ]:
+            result = synthetic.query(sql)
+            assert result.schema is not None
+
+    def test_join_templates_run(self, synthetic):
+        for sql in [q_join(), q_joinsel(), q_sketch()]:
+            result = synthetic.query(sql)
+            assert result.schema.attributes == ("a", "ab")
+
+    def test_q_having_aggregate_count(self, synthetic):
+        assert "avg" not in q_having(1).lower().split("having")[-1] if "having" in q_having(1).lower() else True
+        assert q_having(3).lower().count("avg(") >= 3
+
+    def test_q_having_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            q_having(0)
+
+    def test_q_topk_has_limit(self, synthetic):
+        assert "LIMIT 5" in q_topk(k=5)
+        assert len(synthetic.query(q_topk(k=5))) <= 5
+
+
+class TestTPCH:
+    @pytest.fixture(scope="class")
+    def tpch_db(self):
+        database = Database()
+        data = load_tpch(database, scale=0.02, seed=3)
+        return database, data
+
+    def test_tables_and_ratios(self, tpch_db):
+        database, data = tpch_db
+        assert set(database.table_names()) == {"customer", "lineitem", "nation", "orders"}
+        assert len(database.table("lineitem")) > len(database.table("orders"))
+        assert len(database.table("orders")) > len(database.table("customer"))
+        assert len(data.nations) == 25
+
+    def test_generation_is_deterministic(self):
+        first, second = Database(), Database()
+        a = load_tpch(first, scale=0.01, seed=5)
+        b = load_tpch(second, scale=0.01, seed=5)
+        assert a.lineitems == b.lineitems
+
+    def test_q10_runs_and_respects_limit(self, tpch_db):
+        database, _data = tpch_db
+        result = database.query(tpch_q10(k=5))
+        assert len(result) <= 5
+
+    def test_other_queries_run(self, tpch_db):
+        database, _data = tpch_db
+        assert database.query(tpch_having_revenue(1_000.0)) is not None
+        assert database.query(tpch_order_volume(10.0)) is not None
+        assert len(database.query(tpch_top_customers(3))) <= 3
+        for sql in TPCH_QUERIES.values():
+            assert database.query(sql) is not None
+
+    def test_update_generators(self, tpch_db):
+        _database, data = tpch_db
+        before = len(data.lineitems)
+        inserted = data.make_lineitem_inserts(10)
+        assert len(inserted) == 10 and len(data.lineitems) == before + 10
+        deleted = data.pick_lineitem_deletes(5)
+        assert len(deleted) == 5
+        orders, lineitems = data.make_order_inserts(3)
+        assert len(orders) == 3 and len(lineitems) >= 3
+
+    def test_imp_answers_q10_like_backend(self, tpch_db):
+        database, _data = tpch_db
+        system = IMPSystem(database, num_fragments=16)
+        expected = sorted(database.query(tpch_q10(k=5)).rows())
+        got = sorted(system.run_query(tpch_q10(k=5)).rows())
+        assert got == expected
+
+
+class TestCrimes:
+    @pytest.fixture(scope="class")
+    def crimes_db(self):
+        database = Database()
+        data = load_crimes(database, num_rows=5_000, seed=3)
+        return database, data
+
+    def test_schema_and_determinism(self, crimes_db):
+        database, _data = crimes_db
+        assert len(database.schema_of("crimes")) == 11
+        other = Database()
+        again = load_crimes(other, num_rows=100, seed=77)
+        assert load_crimes(Database(), num_rows=100, seed=77).rows == again.rows
+
+    def test_cq1_groups_by_beat_and_year(self, crimes_db):
+        database, _data = crimes_db
+        result = database.query(CRIMES_Q1)
+        assert result.schema.attributes == ("beat", "year", "crime_count")
+        assert len(result) > 100
+
+    def test_cq2_threshold_filters_groups(self, crimes_db):
+        database, _data = crimes_db
+        all_areas = database.query(crimes_q2(0))
+        busy_areas = database.query(crimes_q2(25))
+        assert len(busy_areas) < len(all_areas)
+        assert "1000" in CRIMES_Q2
+
+    def test_update_generators(self, crimes_db):
+        _database, data = crimes_db
+        inserts = data.make_inserts(10)
+        assert all(row[1] >= 2021 for row in inserts)
+        deletes = data.pick_deletes(5)
+        assert len(deletes) == 5
+
+
+class TestMixedWorkload:
+    def test_parse_ratio(self):
+        assert parse_ratio("1U5Q") == (1, 5)
+        assert parse_ratio("5u1q") == (5, 1)
+        with pytest.raises(ValueError):
+            parse_ratio("5x1y")
+
+    def test_operation_mix_matches_ratio(self):
+        database = Database()
+        table = load_synthetic(database, num_rows=300, num_groups=10, seed=4)
+        workload = MixedWorkload(
+            table,
+            query_factory=lambda rng: q_endtoend(),
+            ratio="1U3Q",
+            delta_size=4,
+            num_operations=40,
+        )
+        operations = list(workload.operations())
+        updates = [op for op in operations if op.kind == "update"]
+        queries = [op for op in operations if op.kind == "query"]
+        assert len(operations) == 40
+        assert len(updates) == 10 and len(queries) == 30
+        assert all(op.delta_size == 4 for op in updates)
+
+    def test_runner_reports_consistent_counts(self):
+        database = Database()
+        table = load_synthetic(database, num_rows=300, num_groups=10, seed=4)
+        workload = MixedWorkload(
+            table,
+            query_factory=lambda rng: q_endtoend(),
+            ratio="1U1Q",
+            delta_size=3,
+            num_operations=10,
+        )
+        report = WorkloadRunner(NoSketchSystem(database)).run(workload)
+        assert report.queries + report.updates == 10
+        assert report.total_seconds > 0
+        assert report.row()["system"] == "no-sketch"
+
+    def test_same_operations_can_drive_multiple_systems(self):
+        source = Database()
+        table = load_synthetic(source, num_rows=400, num_groups=12, seed=6)
+        workload = MixedWorkload(
+            table,
+            query_factory=lambda rng: q_endtoend(),
+            ratio="1U2Q",
+            delta_size=5,
+            num_operations=12,
+        )
+        operations = list(workload.operations())
+        results = []
+        for kind in ("ns", "imp"):
+            database = Database()
+            load_synthetic(database, num_rows=400, num_groups=12, seed=6)
+            system = (
+                NoSketchSystem(database) if kind == "ns" else IMPSystem(database, num_fragments=12)
+            )
+            report = WorkloadRunner(system).run_operations(operations)
+            results.append((kind, report, sorted(database.query(q_endtoend()).rows())))
+        # After replaying identical operations both databases agree.
+        assert results[0][2] == results[1][2]
