@@ -22,7 +22,7 @@ from repro.sketch.selection import build_database_partition
 from repro.storage.database import Database
 from repro.workloads.tpch import load_tpch, tpch_having_revenue, tpch_order_volume, tpch_q10
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import median_rounds, median_seconds, print_rows
 
 SCALES = {"small": 0.02, "large": 0.08}
 DELTAS = [10, 100]
@@ -73,7 +73,9 @@ def test_fig09_incremental_vs_full(benchmark, scale_name, query_name, delta_size
         fm_seconds = time.perf_counter() - started
         return imp_seconds, fm_seconds
 
-    imp_seconds, fm_seconds = benchmark.pedantic(one_round, rounds=1, iterations=1)
+    imp_seconds, fm_seconds = benchmark.pedantic(
+        median_rounds, args=(one_round,), rounds=1, iterations=1
+    )
     result = ExperimentResult("fig09")
     result.add(system="imp", scale=scale_name, query=query_name, delta=delta_size,
                seconds=round(imp_seconds, 5))
@@ -99,7 +101,9 @@ def test_fig09c_insert_and_delete(benchmark, query_name):
         fm_seconds = time.perf_counter() - started
         return imp_seconds, fm_seconds
 
-    imp_seconds, fm_seconds = benchmark.pedantic(one_round, rounds=1, iterations=1)
+    imp_seconds, fm_seconds = benchmark.pedantic(
+        median_rounds, args=(one_round,), rounds=1, iterations=1
+    )
     assert imp_seconds < fm_seconds
     result = ExperimentResult("fig09c")
     result.add(system="imp", query=query_name, delta=100, seconds=round(imp_seconds, 5))
@@ -118,10 +122,14 @@ def test_fig09_imp_runtime_mostly_independent_of_database_size(benchmark):
         timings = {}
         for scale_name in SCALES:
             database, data, incremental, _full = _build(scale_name, QUERIES["having_revenue"])
-            _apply_lineitem_delta(database, data, 100, with_deletes=False)
-            started = time.perf_counter()
-            incremental.maintain()
-            timings[scale_name] = time.perf_counter() - started
+
+            def one_round():
+                _apply_lineitem_delta(database, data, 100, with_deletes=False)
+                started = time.perf_counter()
+                incremental.maintain()
+                return time.perf_counter() - started
+
+            timings[scale_name] = median_seconds(one_round)
         return timings
 
     timings = benchmark.pedantic(measure, rounds=1, iterations=1)

@@ -19,7 +19,7 @@ from repro.sketch.selection import build_database_partition
 from repro.storage.database import Database
 from repro.workloads.crimes import CRIMES_Q1, crimes_q2, load_crimes
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import median_rounds, print_rows
 
 NUM_ROWS = 12_000
 DELTAS = [10, 100, 1000]
@@ -53,7 +53,9 @@ def test_fig10a_incremental_vs_full(benchmark, query_name, delta_size):
         fm_seconds = time.perf_counter() - started
         return imp_seconds, fm_seconds
 
-    imp_seconds, fm_seconds = benchmark.pedantic(one_round, rounds=1, iterations=1)
+    imp_seconds, fm_seconds = benchmark.pedantic(
+        median_rounds, args=(one_round,), rounds=1, iterations=1
+    )
     result = ExperimentResult("fig10a")
     result.add(system="imp", query=query_name, delta=delta_size, seconds=round(imp_seconds, 5))
     result.add(system="fm", query=query_name, delta=delta_size, seconds=round(fm_seconds, 5))
@@ -82,7 +84,9 @@ def test_fig10b_insert_and_delete(benchmark, query_name):
         fm_seconds = time.perf_counter() - started
         return imp_seconds, fm_seconds
 
-    imp_seconds, fm_seconds = benchmark.pedantic(one_round, rounds=1, iterations=1)
+    imp_seconds, fm_seconds = benchmark.pedantic(
+        median_rounds, args=(one_round,), rounds=1, iterations=1
+    )
     assert imp_seconds < fm_seconds
     result = ExperimentResult("fig10b")
     result.add(system="imp", query=query_name, delta=100, seconds=round(imp_seconds, 5))

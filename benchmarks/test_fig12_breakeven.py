@@ -30,7 +30,7 @@ def _sweep(benchmark, sql: str, title: str, **scenario_kwargs):
         result = ExperimentResult(title)
         for fraction in SWEEP_FRACTIONS:
             delta_size = max(2, int(NUM_ROWS * fraction))
-            imp_seconds, fm_seconds = measure_maintenance(scenario, delta_size, repeats=1)
+            imp_seconds, fm_seconds = measure_maintenance(scenario, delta_size, repeats=3)
             result.add(
                 fraction=fraction,
                 delta=delta_size,

@@ -1,0 +1,158 @@
+"""Figure 19 (extension): compiled versus interpreted expression evaluation.
+
+Not a figure of the source paper: this benchmark quantifies the engine-wide
+compiled-expression layer.  Every hot path (reference evaluation, annotated
+capture, incremental delta processing) evaluates predicates, projections,
+group keys and order keys per tuple; compiling them into schema-specialised
+closures removes the per-row ``schema.index_of`` lookups and AST dispatch.
+
+Measured here, always as medians over >= 3 repeats:
+
+* (a) Q_groups incremental maintenance -- compiled beats interpreted;
+* (b) Q_join incremental maintenance (backend round trips re-evaluate the
+  non-delta join side, so compilation helps the outsourced captures too);
+* (c) sketch capture (operator-state initialisation) on Q_groups.
+
+Correctness gate, not timing: both configurations must produce bit-identical
+sketches and sketch deltas round for round.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.imp.engine import IMPConfig
+from repro.workloads.queries import q_groups, q_join
+
+from benchmarks.conftest import build_scenario, median_seconds, print_rows
+
+ROUNDS = 5
+DELTA_SIZE = 1000
+
+
+def _build_pair(sql: str, **kwargs):
+    """Two identical scenarios differing only in the compilation toggle.
+
+    Equal seeds make the generated tables and every subsequent update batch
+    identical, so timings and results are directly comparable.
+    """
+    compiled = build_scenario(sql, config=IMPConfig(compile_expressions=True), **kwargs)
+    interpreted = build_scenario(
+        sql, config=IMPConfig(compile_expressions=False), **kwargs
+    )
+    return compiled, interpreted
+
+
+def _measure_pair(compiled, interpreted, rounds: int = ROUNDS):
+    """Apply identical update batches to both scenarios; return the median
+    per-round maintenance seconds of each and check result identity."""
+    compiled_times = []
+    interpreted_times = []
+    for _ in range(rounds):
+        for scenario in (compiled, interpreted):
+            deletes = scenario.table_handle.pick_deletes(DELTA_SIZE // 2)
+            inserts = scenario.table_handle.make_inserts(DELTA_SIZE - len(deletes))
+            scenario.apply_update(inserts, deletes)
+        started = time.perf_counter()
+        result_compiled = compiled.incremental.maintain()
+        compiled_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        result_interpreted = interpreted.incremental.maintain()
+        interpreted_times.append(time.perf_counter() - started)
+        assert result_compiled.sketch_delta == result_interpreted.sketch_delta, (
+            "compiled and interpreted maintenance must produce identical sketch deltas"
+        )
+        assert set(result_compiled.sketch.fragment_ids()) == set(
+            result_interpreted.sketch.fragment_ids()
+        )
+    compiled_times.sort()
+    interpreted_times.sort()
+    return (
+        compiled_times[len(compiled_times) // 2],
+        interpreted_times[len(interpreted_times) // 2],
+    )
+
+
+def test_fig19a_q_groups_maintenance(benchmark):
+    """Compiled expression evaluation beats interpreted on Q_groups maintenance."""
+    compiled, interpreted = _build_pair(
+        q_groups(threshold=900), num_rows=6000, num_groups=1000
+    )
+
+    def run():
+        return _measure_pair(compiled, interpreted)
+
+    compiled_seconds, interpreted_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    result = ExperimentResult("fig19a")
+    result.add(mode="compiled", query="q_groups", delta=DELTA_SIZE,
+               seconds=round(compiled_seconds, 5))
+    result.add(mode="interpreted", query="q_groups", delta=DELTA_SIZE,
+               seconds=round(interpreted_seconds, 5))
+    print_rows(result, "Fig. 19a: Q_groups maintenance, compiled vs interpreted")
+    assert compiled_seconds < interpreted_seconds, (
+        f"compiled maintenance ({compiled_seconds:.5f}s) must beat interpreted "
+        f"({interpreted_seconds:.5f}s) on Q_groups"
+    )
+
+
+def test_fig19b_q_join_maintenance(benchmark):
+    """Joins outsource the non-delta side to annotated capture; compilation
+    speeds up both the delta path and those re-evaluations."""
+    compiled, interpreted = _build_pair(
+        q_join(filter_threshold=2000, having_threshold=2000),
+        num_rows=4000,
+        num_groups=200,
+        with_join_helper=True,
+        helper_rows=800,
+    )
+
+    def run():
+        return _measure_pair(compiled, interpreted)
+
+    compiled_seconds, interpreted_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    result = ExperimentResult("fig19b")
+    result.add(mode="compiled", query="q_join", delta=DELTA_SIZE,
+               seconds=round(compiled_seconds, 5))
+    result.add(mode="interpreted", query="q_join", delta=DELTA_SIZE,
+               seconds=round(interpreted_seconds, 5))
+    print_rows(result, "Fig. 19b: Q_join maintenance, compiled vs interpreted")
+    assert compiled_seconds < interpreted_seconds, (
+        f"compiled maintenance ({compiled_seconds:.5f}s) must beat interpreted "
+        f"({interpreted_seconds:.5f}s) on Q_join"
+    )
+
+
+def test_fig19c_capture_speedup(benchmark):
+    """Operator-state initialisation (sketch capture) is a full evaluation of
+    the capture query; compiled evaluation must win there as well."""
+    compiled, interpreted = _build_pair(
+        q_groups(threshold=900), num_rows=6000, num_groups=1000
+    )
+
+    def measure(scenario):
+        def one_round():
+            scenario.incremental.engine.reset()
+            started = time.perf_counter()
+            scenario.incremental.engine.initialize()
+            return time.perf_counter() - started
+
+        return median_seconds(one_round)
+
+    def run():
+        return measure(compiled), measure(interpreted)
+
+    compiled_seconds, interpreted_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    result = ExperimentResult("fig19c")
+    result.add(mode="compiled", phase="capture", seconds=round(compiled_seconds, 5))
+    result.add(mode="interpreted", phase="capture", seconds=round(interpreted_seconds, 5))
+    print_rows(result, "Fig. 19c: Q_groups capture, compiled vs interpreted")
+    assert compiled_seconds < interpreted_seconds

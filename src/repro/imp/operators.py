@@ -20,8 +20,14 @@ from repro.core.bitset import BitSet
 from repro.core.bloom import BloomFilter
 from repro.core.timing import MemoryMeter
 from repro.relational.algebra import Aggregate, OrderItem, PlanNode
-from repro.relational.evaluator import order_sort_key
-from repro.relational.expressions import Expression
+from repro.relational.evaluator import make_order_key
+from repro.relational.expressions import (
+    CompiledExpression,
+    Expression,
+    Literal,
+    compile_expression,
+    compile_row_expressions,
+)
 from repro.relational.schema import Row, Schema
 from repro.sketch.capture import AnnotatedEvaluator, AnnotatedRelation
 from repro.sketch.ranges import DatabasePartition
@@ -129,6 +135,7 @@ class IncrementalTableAccess(IncrementalOperator):
         provider,
         statistics: EngineStatistics,
         delta_filter: Expression | None = None,
+        compile_expressions: bool = True,
     ) -> None:
         super().__init__(base_schema.qualify(alias), statistics)
         self.table = table.lower()
@@ -136,11 +143,30 @@ class IncrementalTableAccess(IncrementalOperator):
         self.base_schema = base_schema
         self.partition = partition
         self.provider = provider
+        self._compile_expressions = compile_expressions
+        self._delta_filter: Expression | None = None
+        self._delta_filter_fn: CompiledExpression | None = None
         self.delta_filter = delta_filter
         self._attribute_index: int | None = None
         if partition.has_table(self.table):
             attribute = partition.partition_of(self.table).attribute
             self._attribute_index = base_schema.index_of(attribute)
+
+    @property
+    def delta_filter(self) -> Expression | None:
+        """Pushed-down selection applied to fetched delta tuples."""
+        return self._delta_filter
+
+    @delta_filter.setter
+    def delta_filter(self, expression: Expression | None) -> None:
+        # Compile eagerly on assignment so the per-tuple loop stays lookup-free
+        # even when selection push-down installs the filter after construction.
+        self._delta_filter = expression
+        self._delta_filter_fn = (
+            None
+            if expression is None
+            else compile_expression(expression, self.output_schema, self._compile_expressions)
+        )
 
     def initialize(self) -> AnnotatedRelation:
         base = self.provider.relation(self.table)
@@ -157,8 +183,8 @@ class IncrementalTableAccess(IncrementalOperator):
         for sign, rows in ((INSERT, delta.inserts()), (DELETE, delta.deletes())):
             for row, multiplicity in rows:
                 self.statistics.tuples_processed += multiplicity
-                if self.delta_filter is not None:
-                    if self.delta_filter.evaluate(row, self.output_schema) is not True:
+                if self._delta_filter_fn is not None:
+                    if self._delta_filter_fn(row) is not True:
                         self.statistics.delta_tuples_filtered += multiplicity
                         continue
                 self.statistics.delta_tuples_fetched += multiplicity
@@ -186,10 +212,14 @@ class IncrementalSelection(IncrementalOperator):
         child: IncrementalOperator,
         predicate: Expression,
         statistics: EngineStatistics,
+        compile_expressions: bool = True,
     ) -> None:
         super().__init__(child.output_schema, statistics)
         self.child = child
         self.predicate = predicate
+        self._predicate_fn = compile_expression(
+            predicate, child.output_schema, compile_expressions
+        )
 
     def children(self) -> Sequence[IncrementalOperator]:
         return (self.child,)
@@ -197,17 +227,19 @@ class IncrementalSelection(IncrementalOperator):
     def initialize(self) -> AnnotatedRelation:
         child = self.child.initialize()
         result = AnnotatedRelation(self.output_schema)
+        predicate = self._predicate_fn
         for row, annotation, multiplicity in child.items():
-            if self.predicate.evaluate(row, child.schema) is True:
+            if predicate(row) is True:
                 result.add(row, annotation, multiplicity)
         return result
 
     def process(self, db_delta: DatabaseDelta) -> AnnotatedDelta:
         child = self.child.process(db_delta)
         output = AnnotatedDelta(self.output_schema)
+        predicate = self._predicate_fn
         for entry in child.tuples():
             self.statistics.tuples_processed += entry.multiplicity
-            if self.predicate.evaluate(entry.row, child.schema) is True:
+            if predicate(entry.row) is True:
                 output.add(entry.sign, entry.row, entry.annotation, entry.multiplicity)
         return output
 
@@ -224,10 +256,14 @@ class IncrementalProjection(IncrementalOperator):
         expressions: Sequence[Expression],
         output_schema: Schema,
         statistics: EngineStatistics,
+        compile_expressions: bool = True,
     ) -> None:
         super().__init__(output_schema, statistics)
         self.child = child
         self.expressions = list(expressions)
+        self._project = compile_row_expressions(
+            self.expressions, child.output_schema, compile_expressions
+        )
 
     def children(self) -> Sequence[IncrementalOperator]:
         return (self.child,)
@@ -235,20 +271,18 @@ class IncrementalProjection(IncrementalOperator):
     def initialize(self) -> AnnotatedRelation:
         child = self.child.initialize()
         result = AnnotatedRelation(self.output_schema)
+        project = self._project
         for row, annotation, multiplicity in child.items():
-            projected = tuple(expr.evaluate(row, child.schema) for expr in self.expressions)
-            result.add(projected, annotation, multiplicity)
+            result.add(project(row), annotation, multiplicity)
         return result
 
     def process(self, db_delta: DatabaseDelta) -> AnnotatedDelta:
         child = self.child.process(db_delta)
         output = AnnotatedDelta(self.output_schema)
+        project = self._project
         for entry in child.tuples():
             self.statistics.tuples_processed += entry.multiplicity
-            projected = tuple(
-                expr.evaluate(entry.row, child.schema) for expr in self.expressions
-            )
-            output.add(entry.sign, projected, entry.annotation, entry.multiplicity)
+            output.add(entry.sign, project(entry.row), entry.annotation, entry.multiplicity)
         return output
 
     def describe(self) -> str:
@@ -282,6 +316,7 @@ class IncrementalJoin(IncrementalOperator):
         statistics: EngineStatistics,
         use_bloom_filters: bool = True,
         bloom_false_positive_rate: float = 0.01,
+        compile_expressions: bool = True,
     ) -> None:
         super().__init__(left.output_schema.concat(right.output_schema), statistics)
         self.left = left
@@ -289,6 +324,12 @@ class IncrementalJoin(IncrementalOperator):
         self.left_plan = left_plan
         self.right_plan = right_plan
         self.condition = condition
+        self._compile_expressions = compile_expressions
+        self._condition_fn = (
+            None
+            if condition is None
+            else compile_expression(condition, self.output_schema, compile_expressions)
+        )
         self.provider = provider
         self.partition = partition
         self.use_bloom_filters = use_bloom_filters
@@ -346,6 +387,7 @@ class IncrementalJoin(IncrementalOperator):
         self, left: AnnotatedRelation, right: AnnotatedRelation
     ) -> AnnotatedRelation:
         result = AnnotatedRelation(self.output_schema)
+        condition = self._condition_fn
         if self.is_equi_join:
             index: dict[tuple, list[tuple[Row, BitSet, int]]] = {}
             for row, annotation, multiplicity in right.items():
@@ -357,9 +399,7 @@ class IncrementalJoin(IncrementalOperator):
                     self._key_of(row, self._left_key_positions), ()
                 ):
                     combined = row + other_row
-                    if self.condition is None or self.condition.evaluate(
-                        combined, self.output_schema
-                    ) is True:
+                    if condition is None or condition(combined) is True:
                         result.add(
                             combined, annotation | other_annotation, multiplicity * other_mult
                         )
@@ -367,9 +407,7 @@ class IncrementalJoin(IncrementalOperator):
         for row, annotation, multiplicity in left.items():
             for other_row, other_annotation, other_mult in right.items():
                 combined = row + other_row
-                if self.condition is None or self.condition.evaluate(
-                    combined, self.output_schema
-                ) is True:
+                if condition is None or condition(combined) is True:
                     result.add(
                         combined, annotation | other_annotation, multiplicity * other_mult
                     )
@@ -439,7 +477,9 @@ class IncrementalJoin(IncrementalOperator):
     def _evaluate_side(self, plan: PlanNode, shipped: int) -> AnnotatedRelation:
         self.statistics.backend_round_trips += 1
         self.statistics.tuples_shipped_to_backend += shipped
-        evaluator = AnnotatedEvaluator(self.provider, self.partition)
+        evaluator = AnnotatedEvaluator(
+            self.provider, self.partition, compile_expressions=self._compile_expressions
+        )
         return evaluator.evaluate(plan)
 
     def _join_delta_with_state(
@@ -507,9 +547,7 @@ class IncrementalJoin(IncrementalOperator):
             joined = row + other_row
         else:
             joined = other_row + row
-        if self.condition is not None and self.condition.evaluate(
-            joined, self.output_schema
-        ) is not True:
+        if self._condition_fn is not None and self._condition_fn(joined) is not True:
             return
         key = (joined, annotation | other_annotation)
         combined[key] = combined.get(key, 0) + signed_multiplicity
@@ -550,6 +588,7 @@ class IncrementalAggregation(IncrementalOperator):
         output_schema: Schema,
         statistics: EngineStatistics,
         min_max_buffer: int | None = None,
+        compile_expressions: bool = True,
     ) -> None:
         super().__init__(output_schema, statistics)
         self.child = child
@@ -557,6 +596,20 @@ class IncrementalAggregation(IncrementalOperator):
         self.aggregates = list(aggregates)
         self.min_max_buffer = min_max_buffer
         self.state = AggregationState()
+        child_schema = child.output_schema
+        self._group_key = compile_row_expressions(
+            self.group_by, child_schema, compile_expressions
+        )
+        # COUNT(*) has no argument; a constant placeholder keeps the value
+        # tuple aligned with the accumulators (CountStarAccumulator ignores it).
+        self._argument_values = compile_row_expressions(
+            [
+                Literal(0) if aggregate.argument is None else aggregate.argument
+                for aggregate in self.aggregates
+            ],
+            child_schema,
+            compile_expressions,
+        )
 
     def children(self) -> Sequence[IncrementalOperator]:
         return (self.child,)
@@ -574,25 +627,13 @@ class IncrementalAggregation(IncrementalOperator):
 
         return factory
 
-    def _group_key(self, row: Row, schema: Schema) -> tuple:
-        return tuple(expr.evaluate(row, schema) for expr in self.group_by)
-
-    def _argument_values(self, row: Row, schema: Schema) -> list[object]:
-        values = []
-        for aggregate in self.aggregates:
-            if aggregate.argument is None:
-                values.append(0)
-            else:
-                values.append(aggregate.argument.evaluate(row, schema))
-        return values
-
     def initialize(self) -> AnnotatedRelation:
         child = self.child.initialize()
         factory = self._accumulator_factory()
         for row, annotation, multiplicity in child.items():
-            key = self._group_key(row, child.schema)
+            key = self._group_key(row)
             group = self.state.get_or_create(key, factory)
-            group.apply(self._argument_values(row, child.schema), annotation, multiplicity)
+            group.apply(self._argument_values(row), annotation, multiplicity)
         result = AnnotatedRelation(self.output_schema)
         for group in self.state:
             result.add(group.key + group.output_values(), group.sketch(), 1)
@@ -607,7 +648,7 @@ class IncrementalAggregation(IncrementalOperator):
         snapshots: dict[tuple, tuple[bool, tuple, BitSet]] = {}
         for entry in child.tuples():
             self.statistics.tuples_processed += entry.multiplicity
-            key = self._group_key(entry.row, child.schema)
+            key = self._group_key(entry.row)
             group = self.state.get_or_create(key, factory)
             if key not in snapshots:
                 if group.exists and not group.exhausted():
@@ -615,7 +656,7 @@ class IncrementalAggregation(IncrementalOperator):
                 else:
                     snapshots[key] = (False, (), BitSet())
             signed = entry.multiplicity if entry.is_insert else -entry.multiplicity
-            group.apply(self._argument_values(entry.row, child.schema), entry.annotation, signed)
+            group.apply(self._argument_values(entry.row), entry.annotation, signed)
         for key, (existed, old_values, old_sketch) in snapshots.items():
             group = self.state.get(key)
             assert group is not None
@@ -695,6 +736,7 @@ class IncrementalTopK(IncrementalOperator):
         order_by: Sequence[OrderItem],
         statistics: EngineStatistics,
         buffer_limit: int | None = None,
+        compile_expressions: bool = True,
     ) -> None:
         super().__init__(child.output_schema, statistics)
         self.child = child
@@ -704,36 +746,28 @@ class IncrementalTopK(IncrementalOperator):
             buffer_limit = k
         self.buffer_limit = buffer_limit
         self.state = TopKState(buffer_limit)
+        self._sort_key = make_order_key(
+            self.order_by,
+            [
+                compile_expression(item.expression, child.output_schema, compile_expressions)
+                for item in self.order_by
+            ],
+        )
 
     def children(self) -> Sequence[IncrementalOperator]:
         return (self.child,)
 
-    def _sort_key(self, row: Row, schema: Schema) -> tuple:
-        values = [item.expression.evaluate(row, schema) for item in self.order_by]
-        keys = list(order_sort_key(tuple(values)))
-        adjusted = []
-        for (tag, value), item in zip(keys, self.order_by):
-            if item.ascending:
-                adjusted.append((tag, value))
-            elif isinstance(value, (int, float)):
-                adjusted.append((-tag, -value))
-            else:
-                adjusted.append((-tag, _ReverseOrder(value)))
-        return tuple(adjusted)
-
     def initialize(self) -> AnnotatedRelation:
         child = self.child.initialize()
-        entries = sorted(
-            child.items(), key=lambda entry: self._sort_key(entry[0], child.schema)
-        )
+        entries = sorted(child.items(), key=lambda entry: self._sort_key(entry[0]))
         remaining = self.buffer_limit
         for row, annotation, multiplicity in entries:
             if remaining is None:
-                self.state.add(self._sort_key(row, child.schema), row, annotation, multiplicity)
+                self.state.add(self._sort_key(row), row, annotation, multiplicity)
                 continue
             if remaining > 0:
                 take = min(multiplicity, remaining)
-                self.state.add(self._sort_key(row, child.schema), row, annotation, take)
+                self.state.add(self._sort_key(row), row, annotation, take)
                 remaining -= take
                 overflow = multiplicity - take
             else:
@@ -752,7 +786,7 @@ class IncrementalTopK(IncrementalOperator):
         old_top = self.state.top_k(self.k) if self.state.can_answer(self.k) else []
         for entry in child.tuples():
             self.statistics.tuples_processed += entry.multiplicity
-            key = self._sort_key(entry.row, child.schema)
+            key = self._sort_key(entry.row)
             if entry.is_insert:
                 self.state.add(key, entry.row, entry.annotation, entry.multiplicity)
             else:
@@ -779,24 +813,6 @@ class IncrementalTopK(IncrementalOperator):
     def describe(self) -> str:
         buffer = self.buffer_limit if self.buffer_limit is not None else "all"
         return f"IncTopK(k={self.k}, buffer={buffer})"
-
-
-class _ReverseOrder:
-    """Reverses comparisons for descending non-numeric sort keys."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: object) -> None:
-        self.value = value
-
-    def __lt__(self, other: "_ReverseOrder") -> bool:
-        return other.value < self.value  # type: ignore[operator]
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _ReverseOrder) and other.value == self.value
-
-    def __hash__(self) -> int:
-        return hash(self.value)
 
 
 def _to_bag(entries: list[tuple[Row, BitSet, int]]) -> dict[tuple[Row, BitSet], int]:

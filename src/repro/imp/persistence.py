@@ -280,6 +280,7 @@ class StatePersistence:
                 "selection_pushdown": maintainer.config.selection_pushdown,
                 "min_max_buffer": maintainer.config.min_max_buffer,
                 "topk_buffer": maintainer.config.topk_buffer,
+                "compile_expressions": maintainer.config.compile_expressions,
             },
             "engine_state": dump_engine_state(maintainer.engine),
         }

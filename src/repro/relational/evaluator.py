@@ -8,7 +8,7 @@ incremental engine is verified (tuple correctness, Theorem 6.1).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable, Sequence
 from typing import Protocol
 
 from repro.core.errors import PlanError, UnsupportedOperationError
@@ -18,14 +18,21 @@ from repro.relational.algebra import (
     Aggregation,
     Distinct,
     Join,
+    OrderItem,
     PlanNode,
     Projection,
     Selection,
     TableScan,
     TopK,
 )
-from repro.relational.expressions import ColumnRef, Expression
-from repro.relational.schema import Relation, Row, Schema
+from repro.relational.expressions import (
+    ColumnRef,
+    CompiledExpression,
+    Expression,
+    compile_expression,
+    compile_row_expressions,
+)
+from repro.relational.schema import Relation, Row, Schema, order_component
 
 
 class RelationProvider(Protocol):
@@ -78,23 +85,52 @@ def compute_aggregate(
 
 
 def order_sort_key(values: tuple) -> tuple:
-    """Total order over heterogeneous sort keys (None sorts first)."""
-    key = []
-    for value in values:
-        if value is None:
-            key.append((0, 0))
-        elif isinstance(value, (int, float)) and not isinstance(value, bool):
-            key.append((1, value))
-        else:
-            key.append((2, str(value)))
-    return tuple(key)
+    """Total order over heterogeneous sort keys."""
+    return tuple(order_component(value) for value in values)
+
+
+def make_order_key(
+    order_by: Sequence[OrderItem], compiled: Sequence[CompiledExpression]
+) -> Callable[[Row], tuple]:
+    """Build a sort-key function for ORDER BY items with compiled expressions.
+
+    Shared by the reference evaluator, annotated capture and the incremental
+    top-k operator so all three order rows identically.  Descending items
+    invert numeric components directly; other values reverse through
+    :class:`_Reversed`.
+    """
+    ascending = tuple(item.ascending for item in order_by)
+
+    def order_key(row: Row) -> tuple:
+        adjusted = []
+        for fn, asc in zip(compiled, ascending):
+            tag, component = order_component(fn(row))
+            if asc:
+                adjusted.append((tag, component))
+            elif isinstance(component, (int, float)):
+                adjusted.append((-tag, -component))
+            else:
+                adjusted.append((-tag, _Reversed(component)))
+        return tuple(adjusted)
+
+    return order_key
 
 
 class Evaluator:
-    """Evaluate logical plans against a :class:`RelationProvider`."""
+    """Evaluate logical plans against a :class:`RelationProvider`.
 
-    def __init__(self, provider: RelationProvider) -> None:
+    Expressions are compiled per ``(expression, schema)`` before the per-row
+    loops, so selection, projection, join and aggregation evaluate without
+    per-row schema lookups; ``compile_expressions=False`` falls back to the
+    interpreted ``Expression.evaluate`` (used as the baseline in benchmarks).
+    """
+
+    def __init__(self, provider: RelationProvider, compile_expressions: bool = True) -> None:
         self._provider = provider
+        self._compile_expressions = compile_expressions
+
+    def _compiled(self, expression: Expression, schema: Schema) -> CompiledExpression:
+        return compile_expression(expression, schema, self._compile_expressions)
 
     # -- public API --------------------------------------------------------------
 
@@ -137,8 +173,9 @@ class Evaluator:
             return indexed
         child = self._evaluate(node.child)
         result = Relation(child.schema)
+        predicate = self._compiled(node.predicate, child.schema)
         for row, multiplicity in child.items():
-            if node.predicate.evaluate(row, child.schema) is True:
+            if predicate(row) is True:
                 result.add(row, multiplicity)
         return result
 
@@ -165,8 +202,9 @@ class Evaluator:
             if not intervals_are_selective(intervals):
                 continue
             result = Relation(schema)
+            predicate = self._compiled(node.predicate, schema)
             for row, multiplicity in provider.index_scan(child.table, attribute, intervals):
-                if node.predicate.evaluate(row, schema) is True:
+                if predicate(row) is True:
                     result.add(row, multiplicity)
             return result
         return None
@@ -175,11 +213,13 @@ class Evaluator:
         child = self._evaluate(node.child)
         schema = Schema(item.alias for item in node.items)
         result = Relation(schema)
+        project = compile_row_expressions(
+            [item.expression for item in node.items],
+            child.schema,
+            self._compile_expressions,
+        )
         for row, multiplicity in child.items():
-            projected = tuple(
-                item.expression.evaluate(row, child.schema) for item in node.items
-            )
-            result.add(projected, multiplicity)
+            result.add(project(row), multiplicity)
         return result
 
     def _join(self, node: Join) -> Relation:
@@ -191,10 +231,13 @@ class Evaluator:
         if keys is not None and self._keys_split(keys, left.schema, right.schema):
             self._hash_join(node, left, right, schema, result)
             return result
+        condition = (
+            None if node.condition is None else self._compiled(node.condition, schema)
+        )
         for left_row, left_mult in left.items():
             for right_row, right_mult in right.items():
                 combined = left_row + right_row
-                if node.condition is None or node.condition.evaluate(combined, schema) is True:
+                if condition is None or condition(combined) is True:
                     result.add(combined, left_mult * right_mult)
         return result
 
@@ -223,6 +266,9 @@ class Evaluator:
             left_keys, right_keys = second, first
         left_positions = [left.schema.index_of(k) for k in left_keys]
         right_positions = [right.schema.index_of(k) for k in right_keys]
+        condition = (
+            None if node.condition is None else self._compiled(node.condition, schema)
+        )
         index: dict[tuple, list[tuple[Row, int]]] = {}
         for right_row, right_mult in right.items():
             key = tuple(right_row[p] for p in right_positions)
@@ -231,39 +277,48 @@ class Evaluator:
             key = tuple(left_row[p] for p in left_positions)
             for right_row, right_mult in index.get(key, ()):
                 combined = left_row + right_row
-                if node.condition is None or node.condition.evaluate(combined, schema) is True:
+                if condition is None or condition(combined) is True:
                     result.add(combined, left_mult * right_mult)
 
     def _aggregation(self, node: Aggregation) -> Relation:
         child = self._evaluate(node.child)
         schema = node.output_schema(self._provider)
+        group_key = compile_row_expressions(
+            node.group_by, child.schema, self._compile_expressions
+        )
+        argument_fns = [
+            None if agg.argument is None else self._compiled(agg.argument, child.schema)
+            for agg in node.aggregates
+        ]
         groups: dict[tuple, list[tuple[Row, int]]] = {}
         for row, multiplicity in child.items():
-            key = tuple(expr.evaluate(row, child.schema) for expr in node.group_by)
-            groups.setdefault(key, []).append((row, multiplicity))
+            groups.setdefault(group_key(row), []).append((row, multiplicity))
         result = Relation(schema)
         if not groups and not node.group_by:
             # Aggregation without GROUP BY over an empty input produces one row.
-            row = tuple(self._aggregate_values(agg, [], child.schema) for agg in node.aggregates)
+            row = tuple(
+                self._aggregate_values(agg, fn, [])
+                for agg, fn in zip(node.aggregates, argument_fns)
+            )
             result.add(row, 1)
             return result
         for key, rows in groups.items():
             aggregates = tuple(
-                self._aggregate_values(agg, rows, child.schema) for agg in node.aggregates
+                self._aggregate_values(agg, fn, rows)
+                for agg, fn in zip(node.aggregates, argument_fns)
             )
             result.add(key + aggregates, 1)
         return result
 
     @staticmethod
     def _aggregate_values(
-        aggregate: Aggregate, rows: list[tuple[Row, int]], schema: Schema
+        aggregate: Aggregate,
+        argument: CompiledExpression | None,
+        rows: list[tuple[Row, int]],
     ) -> object:
-        if aggregate.function is AggregateFunction.COUNT and aggregate.argument is None:
+        if argument is None:
             return sum(multiplicity for _row, multiplicity in rows)
-        values = (
-            (aggregate.argument.evaluate(row, schema), multiplicity)  # type: ignore[union-attr]
-            for row, multiplicity in rows
-        )
+        values = ((argument(row), multiplicity) for row, multiplicity in rows)
         return compute_aggregate(aggregate.function, values)
 
     def _distinct(self, node: Distinct) -> Relation:
@@ -275,10 +330,11 @@ class Evaluator:
 
     def _top_k(self, node: TopK) -> Relation:
         child = self._evaluate(node.child)
-        ordered = sorted(
-            child.items(),
-            key=lambda item: self._order_key(node, item[0], child.schema),
+        order_key = make_order_key(
+            node.order_by,
+            [self._compiled(item.expression, child.schema) for item in node.order_by],
         )
+        ordered = sorted(child.items(), key=lambda item: order_key(item[0]))
         result = Relation(child.schema)
         remaining = node.k
         for row, multiplicity in ordered:
@@ -288,26 +344,6 @@ class Evaluator:
             result.add(row, take)
             remaining -= take
         return result
-
-    @staticmethod
-    def _order_key(node: TopK, row: Row, schema: Schema) -> tuple:
-        raw = []
-        for item in node.order_by:
-            value = item.expression.evaluate(row, schema)
-            raw.append(value)
-        key = list(order_sort_key(tuple(raw)))
-        # Descending keys invert numeric components; strings fall back to a
-        # stable inversion through a wrapper class.
-        adjusted = []
-        for (tag, value), item in zip(key, node.order_by):
-            if item.ascending:
-                adjusted.append((tag, value))
-            else:
-                if isinstance(value, (int, float)):
-                    adjusted.append((-tag, -value))
-                else:
-                    adjusted.append((-tag, _Reversed(value)))
-        return tuple(adjusted)
 
 
 class _Reversed:

@@ -10,18 +10,31 @@ evaluated).
 Every node implements
 
 * ``evaluate(row, schema)`` -- compute the value for a tuple,
+* ``compile(schema)`` -- specialise the expression for a schema, returning a
+  closure ``row -> value`` with all column positions pre-resolved,
 * ``columns()`` -- the set of referenced attribute names,
 * ``rename(mapping)`` -- structural copy with column names substituted, and
 * a deterministic ``canonical()`` string used for query templates.
+
+``evaluate`` is the reference semantics; ``compile`` produces a closure with
+identical results but without the per-row ``schema.index_of`` lookups and
+isinstance dispatch, which dominates the constant factor of every hot path
+(selection, projection, join conditions, group keys, order keys).  Hot-path
+callers go through :func:`compile_expression`, which caches compiled forms per
+``(expression, schema)`` so repeated maintenance rounds reuse them.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+import operator
+from collections.abc import Callable, Mapping, Sequence
 from typing import Any
 
 from repro.core.errors import SchemaError, UnsupportedOperationError
 from repro.relational.schema import Row, Schema
+
+CompiledExpression = Callable[[Row], Any]
+"""A schema-specialised evaluator: maps a row to the expression's value."""
 
 
 class Expression:
@@ -29,6 +42,28 @@ class Expression:
 
     def evaluate(self, row: Row, schema: Schema) -> Any:
         """Evaluate the expression for ``row`` interpreted under ``schema``."""
+        raise NotImplementedError
+
+    def compile(self, schema: Schema) -> CompiledExpression:
+        """Specialise the expression for ``schema``.
+
+        The returned closure computes exactly ``evaluate(row, schema)`` for
+        every row of the schema.  Constant subexpressions are folded: an
+        expression referencing no columns is evaluated once at compile time
+        (unless evaluating it raises, in which case folding is skipped so the
+        error surfaces per-row exactly as under interpretation).
+        """
+        fn = self._compile(schema)
+        if not self.columns() and not self.contains_aggregate():
+            try:
+                value = fn(())
+            except Exception:
+                return fn
+            return lambda row: value
+        return fn
+
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        """Node-specific compilation (no constant folding)."""
         raise NotImplementedError
 
     def columns(self) -> set[str]:
@@ -70,6 +105,9 @@ class ColumnRef(Expression):
     def evaluate(self, row: Row, schema: Schema) -> Any:
         return row[schema.index_of(self.name)]
 
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        return operator.itemgetter(schema.index_of(self.name))
+
     def columns(self) -> set[str]:
         return {self.name}
 
@@ -90,6 +128,10 @@ class Literal(Expression):
 
     def evaluate(self, row: Row, schema: Schema) -> Any:
         return self.value
+
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        value = self.value
+        return lambda row: value
 
     def columns(self) -> set[str]:
         return set()
@@ -133,6 +175,20 @@ class BinaryOp(Expression):
             return None
         return _ARITHMETIC[self.op](left, right)
 
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        operation = _ARITHMETIC[self.op]
+
+        def run(row: Row) -> Any:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            return operation(a, b)
+
+        return run
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -160,6 +216,15 @@ class UnaryMinus(Expression):
     def evaluate(self, row: Row, schema: Schema) -> Any:
         value = self.operand.evaluate(row, schema)
         return None if value is None else -value
+
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        operand = self.operand.compile(schema)
+
+        def run(row: Row) -> Any:
+            value = operand(row)
+            return None if value is None else -value
+
+        return run
 
     def columns(self) -> set[str]:
         return self.operand.columns()
@@ -204,6 +269,35 @@ class Comparison(Expression):
             return None
         return bool(_COMPARISONS[self.op](left, right))
 
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        operation = _COMPARISONS[self.op]
+        # Fast path for the dominant predicate shape, ``column <op> constant``:
+        # a single tuple access and one comparison per row.
+        if isinstance(self.left, ColumnRef) and isinstance(self.right, Literal):
+            index = schema.index_of(self.left.name)
+            constant = self.right.value
+            if constant is None:
+                return lambda row: None
+
+            def fast(row: Row) -> bool | None:
+                value = row[index]
+                if value is None:
+                    return None
+                return bool(operation(value, constant))
+
+            return fast
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+
+        def run(row: Row) -> bool | None:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            return bool(operation(a, b))
+
+        return run
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -238,6 +332,21 @@ class Between(Expression):
         if value is None or low is None or high is None:
             return None
         return low <= value <= high
+
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        operand = self.operand.compile(schema)
+        low = self.low.compile(schema)
+        high = self.high.compile(schema)
+
+        def run(row: Row) -> bool | None:
+            value = operand(row)
+            lo = low(row)
+            hi = high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            return lo <= value <= hi
+
+        return run
 
     def columns(self) -> set[str]:
         return self.operand.columns() | self.low.columns() | self.high.columns()
@@ -274,6 +383,12 @@ class IsNull(Expression):
         value = self.operand.evaluate(row, schema)
         result = value is None
         return not result if self.negated else result
+
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        operand = self.operand.compile(schema)
+        if self.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
 
     def columns(self) -> set[str]:
         return self.operand.columns()
@@ -317,6 +432,43 @@ class LogicalOp(Expression):
             return None
         return False
 
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        # Every operand is evaluated (no short-circuit), exactly like the
+        # interpreted form: a later operand that raises must raise either way.
+        compiled = [operand.compile(schema) for operand in self.operands]
+        if self.op == "AND":
+
+            def run_and(row: Row) -> bool | None:
+                # Three-valued AND: False dominates, then None, then True.
+                saw_false = False
+                saw_null = False
+                for fn in compiled:
+                    value = fn(row)
+                    if value is False:
+                        saw_false = True
+                    elif value is None:
+                        saw_null = True
+                if saw_false:
+                    return False
+                return None if saw_null else True
+
+            return run_and
+
+        def run_or(row: Row) -> bool | None:
+            saw_true = False
+            saw_null = False
+            for fn in compiled:
+                value = fn(row)
+                if value is True:
+                    saw_true = True
+                elif value is None:
+                    saw_null = True
+            if saw_true:
+                return True
+            return None if saw_null else False
+
+        return run_or
+
     def columns(self) -> set[str]:
         result: set[str] = set()
         for operand in self.operands:
@@ -347,6 +499,17 @@ class Not(Expression):
         if value is None:
             return None
         return not value
+
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        operand = self.operand.compile(schema)
+
+        def run(row: Row) -> bool | None:
+            value = operand(row)
+            if value is None:
+                return None
+            return not value
+
+        return run
 
     def columns(self) -> set[str]:
         return self.operand.columns()
@@ -407,6 +570,30 @@ class FunctionCall(Expression):
             raise UnsupportedOperationError(f"unsupported scalar function {self.name!r}")
         return handler([arg.evaluate(row, schema) for arg in self.args])
 
+    def _compile(self, schema: Schema) -> CompiledExpression:
+        # Aggregates and unknown functions keep raising per-row, matching the
+        # interpreted semantics (the error belongs to evaluation, not planning).
+        if self.is_aggregate:
+            name = self.name
+
+            def fail_aggregate(row: Row) -> Any:
+                raise UnsupportedOperationError(
+                    f"aggregate {name}() cannot be evaluated per-row; "
+                    "the translator must place it in an Aggregation operator"
+                )
+
+            return fail_aggregate
+        handler = _SCALAR_FUNCTIONS.get(self.name)
+        if handler is None:
+            name = self.name
+
+            def fail_scalar(row: Row) -> Any:
+                raise UnsupportedOperationError(f"unsupported scalar function {name!r}")
+
+            return fail_scalar
+        compiled = [arg.compile(schema) for arg in self.args]
+        return lambda row: handler([fn(row) for fn in compiled])
+
     def columns(self) -> set[str]:
         result: set[str] = set()
         for arg in self.args:
@@ -424,6 +611,62 @@ class FunctionCall(Expression):
 
     def contains_aggregate(self) -> bool:
         return self.is_aggregate or any(arg.contains_aggregate() for arg in self.args)
+
+
+_COMPILE_CACHE: dict[tuple[str, Schema], CompiledExpression] = {}
+_COMPILE_CACHE_LIMIT = 4096
+
+
+def compile_expression(
+    expression: Expression, schema: Schema, enabled: bool = True
+) -> CompiledExpression:
+    """Compiled form of ``expression`` under ``schema``, cached.
+
+    Compiled closures depend only on the expression structure and the schema,
+    so they are shared across plan nodes and maintenance rounds via a process-
+    wide cache keyed on ``(canonical form, schema)``.  With ``enabled=False``
+    the interpreted ``evaluate`` is wrapped instead -- same call shape, no
+    specialisation -- which is how the engine's compilation toggle and the
+    interpreted-vs-compiled benchmarks are implemented.
+    """
+    if not enabled:
+        return lambda row: expression.evaluate(row, schema)
+    key = (expression.canonical(), schema)
+    compiled = _COMPILE_CACHE.get(key)
+    if compiled is None:
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+            _COMPILE_CACHE.clear()
+        compiled = expression.compile(schema)
+        _COMPILE_CACHE[key] = compiled
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached compiled expressions (mainly for tests)."""
+    _COMPILE_CACHE.clear()
+
+
+def compile_row_expressions(
+    expressions: Sequence[Expression], schema: Schema, enabled: bool = True
+) -> Callable[[Row], tuple]:
+    """Compile a list of expressions into one ``row -> tuple`` closure.
+
+    This is the shape of projection lists and GROUP BY keys.  When every
+    expression is a plain column reference the whole tuple is produced by a
+    single :func:`operator.itemgetter` call (C speed); otherwise each compiled
+    expression is invoked in turn.
+    """
+    if not expressions:
+        return lambda row: ()
+    if enabled and all(isinstance(e, ColumnRef) for e in expressions):
+        positions = [schema.index_of(e.name) for e in expressions]
+        if len(positions) == 1:
+            getter = operator.itemgetter(positions[0])
+            return lambda row: (getter(row),)
+        # itemgetter with several indices already returns a tuple.
+        return operator.itemgetter(*positions)
+    compiled = [compile_expression(e, schema, enabled) for e in expressions]
+    return lambda row: tuple(fn(row) for fn in compiled)
 
 
 def conjuncts(expression: Expression | None) -> list[Expression]:

@@ -261,12 +261,19 @@ class Relation:
             )
 
 
-def _sort_key(value: object) -> tuple[int, object]:
-    """Total order over heterogeneous values (None < numbers < strings)."""
+def order_component(value: object) -> tuple[int, object]:
+    """The ``(tag, comparable)`` ordering component of one heterogeneous value.
+
+    None sorts first; booleans are numerics (SQL boolean ordering: False <
+    True, comparable with ints/floats); everything else falls back to its
+    string form.  Single source of truth for the ordering rules -- row
+    sorting, ORDER BY and top-k keys all derive from it.
+    """
     if value is None:
         return (0, 0)
-    if isinstance(value, bool):
-        return (1, int(value))
     if isinstance(value, (int, float)):
         return (1, value)
     return (2, str(value))
+
+
+_sort_key = order_component

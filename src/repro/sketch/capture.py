@@ -28,7 +28,17 @@ from repro.relational.algebra import (
     TableScan,
     TopK,
 )
-from repro.relational.evaluator import RelationProvider, compute_aggregate, order_sort_key
+from repro.relational.evaluator import (
+    RelationProvider,
+    compute_aggregate,
+    make_order_key,
+)
+from repro.relational.expressions import (
+    CompiledExpression,
+    Expression,
+    compile_expression,
+    compile_row_expressions,
+)
 from repro.relational.schema import Relation, Row, Schema
 from repro.sketch.ranges import DatabasePartition
 from repro.sketch.sketch import ProvenanceSketch
@@ -90,11 +100,26 @@ class AnnotatedRelation:
 
 
 class AnnotatedEvaluator:
-    """Evaluate logical plans propagating provenance-sketch annotations."""
+    """Evaluate logical plans propagating provenance-sketch annotations.
 
-    def __init__(self, provider: RelationProvider, partition: DatabasePartition) -> None:
+    Like the reference evaluator, expressions are compiled per
+    ``(expression, schema)`` before the per-row loops; the shared compile cache
+    means repeated captures (full maintenance, outsourced join sides) reuse the
+    specialised closures across rounds.
+    """
+
+    def __init__(
+        self,
+        provider: RelationProvider,
+        partition: DatabasePartition,
+        compile_expressions: bool = True,
+    ) -> None:
         self._provider = provider
         self._partition = partition
+        self._compile_expressions = compile_expressions
+
+    def _compiled(self, expression: Expression, schema: Schema) -> CompiledExpression:
+        return compile_expression(expression, schema, self._compile_expressions)
 
     # -- public API ------------------------------------------------------------------
 
@@ -150,8 +175,9 @@ class AnnotatedEvaluator:
     def _selection(self, node: Selection) -> AnnotatedRelation:
         child = self._evaluate(node.child)
         result = AnnotatedRelation(child.schema)
+        predicate = self._compiled(node.predicate, child.schema)
         for row, annotation, multiplicity in child.items():
-            if node.predicate.evaluate(row, child.schema) is True:
+            if predicate(row) is True:
                 result.add(row, annotation, multiplicity)
         return result
 
@@ -159,11 +185,13 @@ class AnnotatedEvaluator:
         child = self._evaluate(node.child)
         schema = Schema(item.alias for item in node.items)
         result = AnnotatedRelation(schema)
+        project = compile_row_expressions(
+            [item.expression for item in node.items],
+            child.schema,
+            self._compile_expressions,
+        )
         for row, annotation, multiplicity in child.items():
-            projected = tuple(
-                item.expression.evaluate(row, child.schema) for item in node.items
-            )
-            result.add(projected, annotation, multiplicity)
+            result.add(project(row), annotation, multiplicity)
         return result
 
     def _join(self, node: Join) -> AnnotatedRelation:
@@ -171,6 +199,9 @@ class AnnotatedEvaluator:
         right = self._evaluate(node.right)
         schema = left.schema.concat(right.schema)
         result = AnnotatedRelation(schema)
+        condition = (
+            None if node.condition is None else self._compiled(node.condition, schema)
+        )
         keys = node.equi_join_keys()
         if keys is not None:
             left_keys, right_keys = self._resolve_keys(keys, left.schema, right.schema)
@@ -185,9 +216,7 @@ class AnnotatedEvaluator:
                     key = tuple(row[p] for p in left_positions)
                     for other_row, other_annotation, other_mult in index.get(key, ()):
                         combined = row + other_row
-                        if node.condition is None or node.condition.evaluate(
-                            combined, schema
-                        ) is True:
+                        if condition is None or condition(combined) is True:
                             result.add(
                                 combined,
                                 annotation | other_annotation,
@@ -197,7 +226,7 @@ class AnnotatedEvaluator:
         for left_row, left_annotation, left_mult in left.items():
             for right_row, right_annotation, right_mult in right.items():
                 combined = left_row + right_row
-                if node.condition is None or node.condition.evaluate(combined, schema) is True:
+                if condition is None or condition(combined) is True:
                     result.add(
                         combined, left_annotation | right_annotation, left_mult * right_mult
                     )
@@ -217,16 +246,23 @@ class AnnotatedEvaluator:
     def _aggregation(self, node: Aggregation) -> AnnotatedRelation:
         child = self._evaluate(node.child)
         schema = node.output_schema(self._provider)  # type: ignore[arg-type]
+        group_key = compile_row_expressions(
+            node.group_by, child.schema, self._compile_expressions
+        )
+        argument_fns = [
+            None if agg.argument is None else self._compiled(agg.argument, child.schema)
+            for agg in node.aggregates
+        ]
         groups: dict[tuple, dict[str, object]] = {}
         for row, annotation, multiplicity in child.items():
-            key = tuple(expr.evaluate(row, child.schema) for expr in node.group_by)
+            key = group_key(row)
             group = groups.setdefault(key, {"rows": [], "annotation": BitSet()})
             group["rows"].append((row, multiplicity))  # type: ignore[union-attr]
             group["annotation"].update(annotation)  # type: ignore[union-attr]
         result = AnnotatedRelation(schema)
         if not groups and not node.group_by:
             values = tuple(
-                self._aggregate(node, agg_index, [], child.schema)
+                self._aggregate(node, agg_index, argument_fns[agg_index], [])
                 for agg_index in range(len(node.aggregates))
             )
             result.add(values, BitSet(), 1)
@@ -234,7 +270,7 @@ class AnnotatedEvaluator:
         for key, group in groups.items():
             rows = group["rows"]
             values = tuple(
-                self._aggregate(node, agg_index, rows, child.schema)  # type: ignore[arg-type]
+                self._aggregate(node, agg_index, argument_fns[agg_index], rows)  # type: ignore[arg-type]
                 for agg_index in range(len(node.aggregates))
             )
             result.add(key + values, group["annotation"], 1)  # type: ignore[arg-type]
@@ -242,15 +278,15 @@ class AnnotatedEvaluator:
 
     @staticmethod
     def _aggregate(
-        node: Aggregation, agg_index: int, rows: list[tuple[Row, int]], schema: Schema
+        node: Aggregation,
+        agg_index: int,
+        argument: CompiledExpression | None,
+        rows: list[tuple[Row, int]],
     ) -> object:
         aggregate = node.aggregates[agg_index]
-        if aggregate.argument is None:
+        if argument is None:
             return sum(multiplicity for _row, multiplicity in rows)
-        values = (
-            (aggregate.argument.evaluate(row, schema), multiplicity)
-            for row, multiplicity in rows
-        )
+        values = ((argument(row), multiplicity) for row, multiplicity in rows)
         return compute_aggregate(aggregate.function, values)
 
     def _distinct(self, node: Distinct) -> AnnotatedRelation:
@@ -269,10 +305,11 @@ class AnnotatedEvaluator:
 
     def _top_k(self, node: TopK) -> AnnotatedRelation:
         child = self._evaluate(node.child)
-        entries = sorted(
-            child.items(),
-            key=lambda entry: self._order_key(node, entry[0], child.schema),
+        order_key = make_order_key(
+            node.order_by,
+            [self._compiled(item.expression, child.schema) for item in node.order_by],
         )
+        entries = sorted(child.items(), key=lambda entry: order_key(entry[0]))
         result = AnnotatedRelation(child.schema)
         remaining = node.k
         for row, annotation, multiplicity in entries:
@@ -282,23 +319,6 @@ class AnnotatedEvaluator:
             result.add(row, annotation, take)
             remaining -= take
         return result
-
-    @staticmethod
-    def _order_key(node: TopK, row: Row, schema: Schema) -> tuple:
-        values = []
-        for item in node.order_by:
-            value = item.expression.evaluate(row, schema)
-            values.append(value)
-        key = list(order_sort_key(tuple(values)))
-        adjusted = []
-        for (tag, value), item in zip(key, node.order_by):
-            if item.ascending:
-                adjusted.append((tag, value))
-            elif isinstance(value, (int, float)):
-                adjusted.append((-tag, -value))
-            else:
-                adjusted.append((-tag, value))
-        return tuple(adjusted)
 
 
 def capture_sketch(

@@ -20,6 +20,7 @@ from collections.abc import Callable, Iterable, Sequence
 from repro.core.errors import StorageError
 from repro.relational.algebra import PlanNode
 from repro.relational.evaluator import Evaluator
+from repro.relational.expressions import compile_expression
 from repro.relational.schema import Relation, Row, Schema
 from repro.sql.ast import DeleteStatement, InsertStatement, SelectStatement
 from repro.sql.parser import parse_statement
@@ -177,6 +178,52 @@ class Database:
             return self._version
         return self._commit({stored.name: delta})
 
+    @staticmethod
+    def _validate_delta(stored: StoredTable, delta: Delta) -> None:
+        """Reject infeasible deltas before any row of a commit is applied.
+
+        ``StoredTable`` raises on duplicate keys and over-deletes too, but by
+        then earlier rows of the batch are already applied while the commit
+        never lands in the audit log; validating up front keeps commits
+        atomic.  Checks: (1) every delete is covered by stored copies,
+        (2) no insert reuses a primary key -- deletes are applied before
+        inserts, so a key whose current holder is fully deleted by the same
+        delta is free for reuse.
+        """
+        deleted: dict[Row, int] = {}
+        for row, multiplicity in delta.deletes():
+            deleted[row] = deleted.get(row, 0) + multiplicity
+        for row, multiplicity in deleted.items():
+            held = stored.multiplicity(row)
+            if multiplicity > held:
+                raise StorageError(
+                    f"delta deletes {multiplicity} copies of a row but table "
+                    f"{stored.name!r} only holds {held}"
+                )
+        if stored.primary_key is None:
+            return
+        position = stored.schema.index_of(stored.primary_key)
+        batch: dict[object, Row] = {}
+        for row, _multiplicity in delta.inserts():
+            key = row[position]
+            other = batch.get(key)
+            if other is not None and other != row:
+                raise StorageError(
+                    f"duplicate primary key {key!r} within one update batch "
+                    f"for table {stored.name!r}"
+                )
+            batch[key] = row
+            existing = stored.lookup_by_key(key)
+            if (
+                existing is not None
+                and existing != row
+                and deleted.get(existing, 0) < stored.multiplicity(existing)
+            ):
+                raise StorageError(
+                    f"duplicate primary key {key!r} in table {stored.name!r}: "
+                    f"row {existing!r} already holds it"
+                )
+
     def delete_rows(self, table: str, rows: Iterable[Row]) -> int:
         """Delete specific rows from ``table``; returns the new snapshot identifier."""
         stored = self.table(table)
@@ -208,6 +255,10 @@ class Database:
         return self._commit(per_table)
 
     def _commit(self, deltas: dict[str, Delta]) -> int:
+        # Validate before mutating anything: a mid-apply error would leave
+        # table contents diverged from the audit log.
+        for table, delta in deltas.items():
+            self._validate_delta(self.table(table), delta)
         for table, delta in deltas.items():
             self.table(table).apply_delta(delta)
         self._version += 1
@@ -274,10 +325,8 @@ class Database:
         schema = stored.schema
         if statement.where is None:
             return self.delete_rows(stored.name, list(stored.rows()))
-        predicate = statement.where
-        return self.delete_where(
-            stored.name, lambda row: predicate.evaluate(row, schema) is True
-        )
+        predicate = compile_expression(statement.where, schema)
+        return self.delete_where(stored.name, lambda row: predicate(row) is True)
 
     # -- statistics ---------------------------------------------------------------------------
 

@@ -27,13 +27,16 @@ class AttributeIndex:
     predicate bounds the indexed attribute only touches the qualifying rows.
     """
 
-    __slots__ = ("attribute", "position", "_values", "_buckets")
+    __slots__ = ("attribute", "position", "_values", "_buckets", "_tombstones")
+
+    _COMPACT_MIN_TOMBSTONES = 64
 
     def __init__(self, attribute: str, position: int) -> None:
         self.attribute = attribute
         self.position = position
         self._values: list[float] = []
         self._buckets: dict[float, dict[Row, int]] = {}
+        self._tombstones = 0
 
     def insert(self, row: Row, multiplicity: int) -> None:
         """Register ``multiplicity`` copies of ``row``."""
@@ -45,6 +48,9 @@ class AttributeIndex:
             bucket = {}
             self._buckets[value] = bucket
             bisect.insort(self._values, value)
+        elif not bucket:
+            # Re-populating a tombstoned value revives it.
+            self._tombstones -= 1
         bucket[row] = bucket.get(row, 0) + multiplicity
 
     def delete(self, row: Row, multiplicity: int) -> None:
@@ -61,7 +67,21 @@ class AttributeIndex:
         else:
             bucket.pop(row, None)
         # Empty buckets are kept in the value list (tombstones); range scans
-        # skip them.  This keeps deletes O(1) amortised.
+        # skip them.  This keeps deletes O(1) amortised.  Once tombstones
+        # outnumber live values the sorted list is compacted in one pass.
+        if not bucket:
+            self._tombstones += 1
+            if (
+                self._tombstones >= self._COMPACT_MIN_TOMBSTONES
+                and self._tombstones * 2 > len(self._values)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned values from the sorted list and bucket map."""
+        self._values = [value for value in self._values if self._buckets.get(value)]
+        self._buckets = {value: self._buckets[value] for value in self._values}
+        self._tombstones = 0
 
     def rows_in_intervals(self, intervals: Iterable[Interval]) -> Iterator[tuple[Row, int]]:
         """Rows whose indexed value falls into any of ``intervals``."""
@@ -84,8 +104,13 @@ class AttributeIndex:
                     yield row, multiplicity
 
     def distinct_value_count(self) -> int:
-        """Number of distinct indexed values (including tombstoned ones)."""
-        return len(self._values)
+        """Number of distinct indexed values currently carrying live rows.
+
+        Tombstoned values (all of whose rows were deleted) are excluded so the
+        selectivity heuristics consulting this count see the live data, not
+        the deletion history.
+        """
+        return len(self._values) - self._tombstones
 
 
 class StoredTable:
@@ -124,6 +149,10 @@ class StoredTable:
         for row, multiplicity in self._rows.items():
             for _ in range(multiplicity):
                 yield row
+
+    def multiplicity(self, row: Row) -> int:
+        """Number of stored copies of ``row`` (zero when absent)."""
+        return self._rows.get(tuple(row), 0)
 
     def items(self) -> Iterator[tuple[Row, int]]:
         """Iterate over ``(row, multiplicity)`` pairs."""
@@ -214,11 +243,20 @@ class StoredTable:
         if multiplicity <= 0:
             raise ValueError("multiplicity must be positive")
         row = tuple(row)
-        self._rows[row] = self._rows.get(row, 0) + multiplicity
-        self._row_count += multiplicity
         if self.primary_key is not None:
             key = row[self.schema.index_of(self.primary_key)]
+            existing = self._key_index.get(key)
+            if existing is not None and existing != row:
+                # Overwriting the index entry would orphan the existing row:
+                # deleting the newcomer later would drop the key entirely even
+                # though the old row is still stored.
+                raise StorageError(
+                    f"duplicate primary key {key!r} in table {self.name!r}: "
+                    f"row {existing!r} already holds it"
+                )
             self._key_index[key] = row
+        self._rows[row] = self._rows.get(row, 0) + multiplicity
+        self._row_count += multiplicity
         for index in self._indexes.values():
             index.insert(row, multiplicity)
 

@@ -1,8 +1,21 @@
-"""Property-based tests for relations, deltas and range partitions."""
+"""Property-based tests for relations, deltas, range partitions and the
+compiled-expression layer."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    IsNull,
+    Literal,
+    LogicalOp,
+    Not,
+    UnaryMinus,
+)
 from repro.relational.schema import Relation, Schema
 from repro.sketch.ranges import RangePartition
 from repro.storage.delta import Delta
@@ -56,6 +69,74 @@ class TestDeltaProperties:
         new = relation_of(new_bag)
         delta = Delta.between(old, new)
         assert len(delta) <= len(old) + len(new)
+
+
+# -- compiled expressions ------------------------------------------------------
+
+EXPR_SCHEMA = Schema(["a", "b", "c"])
+
+expr_rows = st.tuples(
+    *(st.one_of(st.none(), st.integers(-50, 50)) for _ in range(3))
+)
+
+numeric_leaves = st.one_of(
+    st.sampled_from(["a", "b", "c"]).map(ColumnRef),
+    st.integers(-20, 20).map(Literal),
+    st.just(Literal(None)),
+)
+
+numeric_exprs = st.recursive(
+    numeric_leaves,
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from("+-*/%"), children, children).map(
+            lambda t: BinaryOp(t[0], t[1], t[2])
+        ),
+        children.map(UnaryMinus),
+        children.map(lambda e: FunctionCall("abs", [e])),
+        st.tuples(children, children).map(
+            lambda t: FunctionCall("coalesce", [t[0], t[1]])
+        ),
+    ),
+    max_leaves=8,
+)
+
+predicate_exprs = st.recursive(
+    st.one_of(
+        st.tuples(
+            st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+            numeric_exprs,
+            numeric_exprs,
+        ).map(lambda t: Comparison(t[0], t[1], t[2])),
+        st.tuples(numeric_exprs, numeric_exprs, numeric_exprs).map(
+            lambda t: Between(t[0], t[1], t[2])
+        ),
+        st.tuples(numeric_exprs, st.booleans()).map(lambda t: IsNull(t[0], t[1])),
+    ),
+    lambda children: st.one_of(
+        children.map(Not),
+        st.tuples(
+            st.sampled_from(["AND", "OR"]),
+            st.lists(children, min_size=1, max_size=3),
+        ).map(lambda t: LogicalOp(t[0], t[1])),
+    ),
+    max_leaves=6,
+)
+
+
+class TestCompiledExpressionProperties:
+    @given(expression=numeric_exprs, row=expr_rows)
+    @settings(max_examples=200)
+    def test_compiled_numeric_matches_interpreted(self, expression, row):
+        interpreted = expression.evaluate(row, EXPR_SCHEMA)
+        compiled = expression.compile(EXPR_SCHEMA)(row)
+        assert compiled == interpreted
+
+    @given(expression=predicate_exprs, row=expr_rows)
+    @settings(max_examples=200)
+    def test_compiled_predicate_matches_interpreted(self, expression, row):
+        interpreted = expression.evaluate(row, EXPR_SCHEMA)
+        compiled = expression.compile(EXPR_SCHEMA)(row)
+        assert compiled is interpreted or compiled == interpreted
 
 
 boundary_lists = st.lists(

@@ -129,6 +129,142 @@ class TestStoredTable:
         table.truncate()
         assert len(table) == 0
 
+    def test_duplicate_key_insert_rejected(self):
+        table = StoredTable("t", ["id", "v"], primary_key="id")
+        table.insert((1, "a"))
+        with pytest.raises(StorageError):
+            table.insert((1, "b"))
+        # The original row is untouched and still findable by key.
+        assert table.lookup_by_key(1) == (1, "a")
+        assert len(table) == 1
+
+    def test_duplicate_key_rejection_keeps_lookup_consistent(self):
+        # Regression: overwriting _key_index[key] used to orphan the first
+        # row -- deleting the newer duplicate made lookup_by_key return None
+        # even though a row with that key remained stored.
+        table = StoredTable("t", ["id", "v"], primary_key="id")
+        table.insert((1, "a"))
+        with pytest.raises(StorageError):
+            table.insert((1, "b"))
+        assert table.delete((1, "b")) == 0
+        assert table.lookup_by_key(1) == (1, "a")
+
+    def test_same_row_duplicate_copies_allowed(self):
+        # Bag semantics: extra copies of the identical row share the key entry.
+        table = StoredTable("t", ["id", "v"], primary_key="id")
+        table.insert((2, "b"), 2)
+        table.insert((2, "b"))
+        assert len(table) == 3
+        assert table.lookup_by_key(2) == (2, "b")
+        table.delete((2, "b"), 2)
+        assert table.lookup_by_key(2) == (2, "b")
+        table.delete((2, "b"))
+        assert table.lookup_by_key(2) is None
+
+    def test_key_reusable_after_delete(self):
+        table = StoredTable("t", ["id", "v"], primary_key="id")
+        table.insert((1, "a"))
+        table.delete((1, "a"))
+        table.insert((1, "b"))
+        assert table.lookup_by_key(1) == (1, "b")
+
+    def test_duplicate_key_in_insert_batch_is_atomic(self):
+        from repro.storage.database import Database
+
+        database = Database()
+        database.create_table("t", ["id", "v"], primary_key="id")
+        database.insert("t", [(1, 10)])
+        version = database.version
+        with pytest.raises(StorageError):
+            database.insert("t", [(7, 70), (7, 71)])
+        with pytest.raises(StorageError):
+            database.insert("t", [(8, 80), (1, 11)])
+        # Nothing from the failed batches was applied.
+        assert database.version == version
+        assert sorted(database.table("t").rows()) == [(1, 10)]
+
+    def test_duplicate_key_in_database_delta_is_atomic(self):
+        from repro.storage.database import Database
+        from repro.storage.delta import DatabaseDelta
+
+        database = Database()
+        database.create_table("t", ["id", "v"], primary_key="id")
+        database.insert("t", [(1, "a"), (2, "b")])
+        version = database.version
+        schema = database.schema_of("t")
+        bad = DatabaseDelta()
+        bad.set_delta(
+            "t", Delta.from_rows(schema, inserts=[(3, "c"), (1, "DUP")], deletes=[(2, "b")])
+        )
+        with pytest.raises(StorageError):
+            database.apply_database_delta(bad)
+        # The delete and the first insert were NOT applied.
+        assert database.version == version
+        assert sorted(database.table("t").rows()) == [(1, "a"), (2, "b")]
+
+    def test_over_delete_is_atomic(self):
+        from repro.storage.database import Database
+
+        database = Database()
+        database.create_table("t", ["id"])
+        database.insert("t", [(1,), (2,)])
+        version = database.version
+        with pytest.raises(StorageError):
+            database.delete_rows("t", [(2,), (1,), (1,)])
+        # Nothing was applied: the infeasible delete is rejected up front.
+        assert database.version == version
+        assert sorted(database.table("t").rows()) == [(1,), (2,)]
+
+    def test_delta_may_reuse_key_freed_by_its_own_delete(self):
+        from repro.storage.database import Database
+        from repro.storage.delta import DatabaseDelta
+
+        database = Database()
+        database.create_table("t", ["id", "v"], primary_key="id")
+        database.insert("t", [(1, "a")])
+        schema = database.schema_of("t")
+        update = DatabaseDelta()
+        update.set_delta(
+            "t", Delta.from_rows(schema, inserts=[(1, "a2")], deletes=[(1, "a")])
+        )
+        database.apply_database_delta(update)
+        assert database.table("t").lookup_by_key(1) == (1, "a2")
+
+
+class TestAttributeIndex:
+    def test_distinct_value_count_excludes_tombstones(self):
+        table = StoredTable("t", ["id", "v"])
+        table.insert_many([(i, i * 10) for i in range(5)])
+        index = table.create_index("v")
+        assert index.distinct_value_count() == 5
+        for i in range(4):
+            table.delete((i, i * 10))
+        assert index.distinct_value_count() == 1
+
+    def test_distinct_value_count_revives_on_reinsert(self):
+        table = StoredTable("t", ["id", "v"])
+        table.insert((1, 10))
+        table.insert((2, 20))
+        index = table.create_index("v")
+        table.delete((2, 20))
+        assert index.distinct_value_count() == 1
+        table.insert((3, 20))
+        assert index.distinct_value_count() == 2
+
+    def test_compaction_keeps_range_scans_correct(self):
+        from repro.relational.predicates import Interval
+
+        table = StoredTable("t", ["id", "v"])
+        table.insert_many([(i, float(i)) for i in range(300)])
+        index = table.create_index("v")
+        # Delete enough distinct values to trigger tombstone compaction.
+        for i in range(0, 300, 2):
+            table.delete((i, float(i)))
+        assert index.distinct_value_count() == 150
+        rows = list(index.rows_in_intervals([Interval(0.0, 299.0)]))
+        assert len(rows) == 150
+        assert all(row[1] % 2 == 1 for row, _mult in rows)
+
 
 class TestAuditLog:
     def make_record(self, version: int, value: int) -> AuditRecord:
