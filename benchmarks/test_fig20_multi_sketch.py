@@ -1,0 +1,225 @@
+"""Figure 20 (extension): shared-delta scheduler vs per-sketch maintenance.
+
+Not a figure of the source paper: this benchmark quantifies the
+:class:`~repro.imp.scheduler.MaintenanceScheduler` in the middleware's
+many-registered-sketches regime.  K sketches over one shared table all go
+stale on every update batch.  Maintaining them independently costs K
+audit-log delta extractions per batch (each replaying every intermediate
+change); a shared-delta round fetches each distinct (table, version-range)
+group once, compacts insert/delete churn away, and fans the net delta out to
+all K maintainers.
+
+Measured, always as medians over >= 3 rounds:
+
+* (a) per-round maintenance time at K = 16 registered sketches -- the
+  scheduler must win;
+* (b) audit-log delta fetches per round -- bounded by distinct groups (1
+  here), not by K, while the per-sketch path pays K;
+* correctness gate: both paths produce identical sketches every round.
+
+Each round commits churn (later commits delete rows inserted by earlier
+commits of the same round), so the raw window delta is several times larger
+than its net effect -- the situation delta compaction exists for.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.imp.maintenance import IncrementalMaintainer
+from repro.imp.scheduler import MaintenanceScheduler
+from repro.imp.sketch_store import SketchEntry, SketchStore
+from repro.sketch.selection import build_database_partition
+from repro.sql.template import template_of
+from repro.storage.database import Database
+from repro.workloads.mixed import multi_sketch_templates
+from repro.workloads.synthetic import load_synthetic
+
+from benchmarks.conftest import print_rows
+
+ROUNDS = 5
+COMMITS_PER_ROUND = 8
+BATCH = 50
+NUM_ROWS = 2500
+NUM_GROUPS = 100
+NUM_FRAGMENTS = 16
+
+
+def _make_row(row_id: int) -> tuple:
+    return (
+        row_id,
+        row_id % NUM_GROUPS,
+        *[round(((row_id * 11 + k * 17) % 1999) / 7.0, 3) for k in range(9)],
+    )
+
+
+class MultiSketchPair:
+    """Two identical databases: K sketches behind a scheduler on one, the same
+    K sketches as independent maintainers on the other."""
+
+    def __init__(self, num_sketches: int, seed: int = 7) -> None:
+        self.num_sketches = num_sketches
+        self.scheduler_db = Database()
+        self.per_sketch_db = Database()
+        for database in (self.scheduler_db, self.per_sketch_db):
+            load_synthetic(
+                database, name="r", num_rows=NUM_ROWS, num_groups=NUM_GROUPS, seed=seed
+            )
+        self.store = SketchStore()
+        self.scheduler = MaintenanceScheduler(self.scheduler_db, self.store)
+        self.per_sketch: list[IncrementalMaintainer] = []
+        for sql in multi_sketch_templates(num_sketches):
+            plan = self.scheduler_db.plan(sql)
+            partition = build_database_partition(self.scheduler_db, plan, NUM_FRAGMENTS)
+            maintainer = IncrementalMaintainer(self.scheduler_db, plan, partition)
+            maintainer.capture()
+            self.store.put(
+                SketchEntry(
+                    template=template_of(sql), sql=sql, plan=plan,
+                    partition=partition, maintainer=maintainer,
+                )
+            )
+            other_plan = self.per_sketch_db.plan(sql)
+            other_partition = build_database_partition(
+                self.per_sketch_db, other_plan, NUM_FRAGMENTS
+            )
+            other = IncrementalMaintainer(self.per_sketch_db, other_plan, other_partition)
+            other.capture()
+            self.per_sketch.append(other)
+        self._next_id = 10_000_000
+
+    def apply_churn_round(self) -> None:
+        """Commit a chain of insert/delete batches to both databases.
+
+        Commit i inserts a fresh batch and deletes the batch commit i-1
+        inserted: the raw audit-log window holds
+        ``COMMITS_PER_ROUND * BATCH`` inserts plus almost as many deletes,
+        while the net effect is a single batch of ``BATCH`` rows.
+        """
+        previous: list[tuple] = []
+        for _ in range(COMMITS_PER_ROUND):
+            batch = [_make_row(self._next_id + i) for i in range(BATCH)]
+            self._next_id += BATCH
+            for database in (self.scheduler_db, self.per_sketch_db):
+                if previous:
+                    database.delete_rows("r", previous)
+                database.insert("r", batch)
+            previous = batch
+
+    def maintain_both(self) -> tuple[float, float, int, int]:
+        """One maintenance pass on each side.
+
+        Returns (scheduler_seconds, per_sketch_seconds, scheduler_fetches,
+        per_sketch_fetches) for the pass.
+        """
+        fetches_before = self.scheduler_db.delta_fetch_count
+        started = time.perf_counter()
+        report = self.scheduler.run_round()
+        scheduler_seconds = time.perf_counter() - started
+        scheduler_fetches = self.scheduler_db.delta_fetch_count - fetches_before
+        assert report.maintained == self.num_sketches
+        assert scheduler_fetches <= report.groups, (
+            "shared rounds must fetch at most one delta per distinct "
+            "(table, version-range) group"
+        )
+
+        fetches_before = self.per_sketch_db.delta_fetch_count
+        started = time.perf_counter()
+        for maintainer in self.per_sketch:
+            maintainer.ensure_current()
+        per_sketch_seconds = time.perf_counter() - started
+        per_sketch_fetches = self.per_sketch_db.delta_fetch_count - fetches_before
+
+        self.assert_sketches_identical()
+        return scheduler_seconds, per_sketch_seconds, scheduler_fetches, per_sketch_fetches
+
+    def assert_sketches_identical(self) -> None:
+        for index, entry in enumerate(self.store.entries()):
+            ours = entry.maintainer.sketch
+            theirs = self.per_sketch[index].sketch
+            assert ours is not None and theirs is not None
+            assert set(ours.fragment_ids()) == set(theirs.fragment_ids()), (
+                f"sketch {index} diverged between scheduler and per-sketch paths"
+            )
+
+
+def _run_rounds(pair: MultiSketchPair) -> dict[str, float]:
+    scheduler_times: list[float] = []
+    per_sketch_times: list[float] = []
+    scheduler_fetches: list[int] = []
+    per_sketch_fetches: list[int] = []
+    for _ in range(ROUNDS):
+        pair.apply_churn_round()
+        sched_s, per_s, sched_f, per_f = pair.maintain_both()
+        scheduler_times.append(sched_s)
+        per_sketch_times.append(per_s)
+        scheduler_fetches.append(sched_f)
+        per_sketch_fetches.append(per_f)
+    scheduler_times.sort()
+    per_sketch_times.sort()
+    return {
+        "scheduler_seconds": scheduler_times[len(scheduler_times) // 2],
+        "per_sketch_seconds": per_sketch_times[len(per_sketch_times) // 2],
+        "scheduler_fetches": max(scheduler_fetches),
+        "per_sketch_fetches": max(per_sketch_fetches),
+    }
+
+
+@pytest.mark.parametrize("num_sketches", [16])
+def test_fig20a_scheduler_beats_per_sketch_maintenance(benchmark, num_sketches):
+    """At >= 16 registered sketches, a shared-delta round beats independent
+    per-sketch maintenance, with identical resulting sketches."""
+    pair = MultiSketchPair(num_sketches)
+
+    def run():
+        return _run_rounds(pair)
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = ExperimentResult("fig20a")
+    result.add(path="scheduler", sketches=num_sketches,
+               fetches_per_round=measured["scheduler_fetches"],
+               seconds=round(measured["scheduler_seconds"], 5))
+    result.add(path="per-sketch", sketches=num_sketches,
+               fetches_per_round=measured["per_sketch_fetches"],
+               seconds=round(measured["per_sketch_seconds"], 5))
+    print_rows(result, "Fig. 20a: maintenance per round, scheduler vs per-sketch")
+    assert measured["scheduler_seconds"] < measured["per_sketch_seconds"], (
+        f"shared-delta round ({measured['scheduler_seconds']:.5f}s) must beat "
+        f"per-sketch maintenance ({measured['per_sketch_seconds']:.5f}s) "
+        f"at {num_sketches} sketches"
+    )
+    # All sketches share one table and go stale at the same version: a round
+    # is one fetch, while the per-sketch path pays one per sketch.
+    assert measured["scheduler_fetches"] == 1
+    assert measured["per_sketch_fetches"] == num_sketches
+
+
+def test_fig20b_speedup_grows_with_registered_sketches(benchmark):
+    """The scheduler's advantage widens as more sketches share the delta:
+    fetch+compaction cost is paid once regardless of K."""
+    def run():
+        rows = []
+        for num_sketches in (4, 16):
+            pair = MultiSketchPair(num_sketches)
+            measured = _run_rounds(pair)
+            rows.append((num_sketches, measured))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = ExperimentResult("fig20b")
+    for num_sketches, measured in rows:
+        result.add(
+            sketches=num_sketches,
+            scheduler_seconds=round(measured["scheduler_seconds"], 5),
+            per_sketch_seconds=round(measured["per_sketch_seconds"], 5),
+            speedup=round(
+                measured["per_sketch_seconds"] / max(measured["scheduler_seconds"], 1e-9), 2
+            ),
+        )
+    print_rows(result, "Fig. 20b: scheduler speedup as registered sketches grow")
+    # The absolute win must hold at the largest K (medians of >= 3 rounds).
+    largest = rows[-1][1]
+    assert largest["scheduler_seconds"] < largest["per_sketch_seconds"]

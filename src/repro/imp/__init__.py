@@ -14,6 +14,9 @@ This package contains the paper's primary contribution:
   full-maintenance baseline) used by the experiments (Sec. 8),
 * :mod:`repro.imp.strategies` -- eager (batched) and lazy maintenance
   strategies (Sec. 2, 8.5),
+* :mod:`repro.imp.scheduler` -- shared-delta maintenance rounds: the audit-log
+  delta of each (table, version) group is fetched once per round, compacted,
+  and fanned out to every stale maintainer,
 * :mod:`repro.imp.sketch_store` -- the template-keyed sketch store (Sec. 7.1),
 * :mod:`repro.imp.middleware` -- the IMP middleware plus the non-sketch and
   full-maintenance baseline systems used in the mixed-workload experiments.
@@ -24,6 +27,7 @@ from repro.imp.engine import EngineStatistics, IMPConfig, IncrementalEngine
 from repro.imp.maintenance import FullMaintainer, IncrementalMaintainer, MaintenanceResult
 from repro.imp.middleware import IMPSystem, NoSketchSystem, FullMaintenanceSystem
 from repro.imp.persistence import StatePersistence, dump_engine_state, load_engine_state
+from repro.imp.scheduler import MaintenanceScheduler, RoundReport, SchedulerStatistics
 from repro.imp.sketch_store import SketchEntry, SketchStore
 from repro.imp.strategies import EagerStrategy, LazyStrategy, MaintenanceStrategy
 
@@ -40,8 +44,11 @@ __all__ = [
     "IncrementalMaintainer",
     "LazyStrategy",
     "MaintenanceResult",
+    "MaintenanceScheduler",
     "MaintenanceStrategy",
     "NoSketchSystem",
+    "RoundReport",
+    "SchedulerStatistics",
     "SketchEntry",
     "SketchStore",
     "StatePersistence",

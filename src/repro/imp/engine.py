@@ -240,6 +240,27 @@ class IncrementalEngine:
             statistics=self.statistics,
         )
 
+    def restrict_delta(self, db_delta: DatabaseDelta) -> DatabaseDelta:
+        """Project a (possibly shared, multi-table) delta onto this plan.
+
+        Shared-delta maintenance rounds fetch one delta per base table and
+        hand the same :class:`DatabaseDelta` to several engines; restricting
+        keeps each engine's work -- and its ``delta_tuples`` accounting --
+        proportional to the tables its plan actually references.  The
+        per-table :class:`~repro.storage.delta.Delta` objects are shared, not
+        copied.
+        """
+        tables = self.plan.referenced_tables()
+        restricted = DatabaseDelta()
+        for table, delta in db_delta.items():
+            if table in tables and delta:
+                restricted.set_delta(table, delta)
+        return restricted
+
+    def maintain_with(self, db_delta: DatabaseDelta) -> MaintenanceOutcome:
+        """Maintain from a shared multi-table delta, ignoring unrelated tables."""
+        return self.maintain(self.restrict_delta(db_delta))
+
     def reset(self) -> None:
         """Discard all operator state (e.g. before a recapture)."""
         self.statistics = EngineStatistics()

@@ -20,6 +20,14 @@ from repro.sketch.capture import capture_sketch
 from repro.sketch.ranges import DatabasePartition
 from repro.sketch.sketch import ProvenanceSketch, SketchDelta
 from repro.storage.database import Database
+from repro.storage.delta import DatabaseDelta
+
+DEFAULT_VERSION_RETENTION = 4
+"""How many past sketch versions a maintainer keeps by default.
+
+Retention exists so concurrent readers can keep using the version their
+transaction started on (Sec. 2); an unbounded history would grow with every
+maintenance round, so only the most recent versions are kept."""
 
 
 @dataclass
@@ -41,12 +49,24 @@ class MaintenanceResult:
 class BaseMaintainer:
     """Shared bookkeeping of incremental and full maintainers."""
 
+    consumes_deltas = False
+    """Whether :meth:`maintain_with` reads the delta it is handed.  The
+    scheduler skips audit-log fetches for groups only referenced by
+    maintainers that repair without deltas (the full-maintenance baseline)."""
+
     def __init__(
-        self, database: Database, plan: PlanNode, partition: DatabasePartition
+        self,
+        database: Database,
+        plan: PlanNode,
+        partition: DatabasePartition,
+        retain_versions: int = DEFAULT_VERSION_RETENTION,
     ) -> None:
+        if retain_versions < 1:
+            raise ValueError("retain_versions must be at least 1")
         self.database = database
         self.plan = plan
         self.partition = partition
+        self.retain_versions = retain_versions
         self.sketch: ProvenanceSketch | None = None
         self.valid_at_version: int | None = None
         self.sketch_versions: list[tuple[int, ProvenanceSketch]] = []
@@ -65,12 +85,20 @@ class BaseMaintainer:
         changed = self.database.tables_changed_since(self.valid_at_version)
         return bool(changed & self.plan.referenced_tables())
 
-    def _record_version(self, sketch: ProvenanceSketch) -> None:
+    def _record_version(
+        self, sketch: ProvenanceSketch, version: int | None = None
+    ) -> None:
         # Sketches are immutable: IMP retains past versions to avoid write
-        # conflicts between concurrent transactions (Sec. 2).
+        # conflicts between concurrent transactions (Sec. 2).  Retention is
+        # bounded: keeping every version forever would leak one sketch per
+        # maintenance round.
+        if version is None:
+            version = self.database.version
         self.sketch = sketch
-        self.valid_at_version = self.database.version
-        self.sketch_versions.append((self.database.version, sketch))
+        self.valid_at_version = version
+        self.sketch_versions.append((version, sketch))
+        if len(self.sketch_versions) > self.retain_versions:
+            del self.sketch_versions[: -self.retain_versions]
 
     def capture(self) -> MaintenanceResult:
         """Create the initial sketch."""
@@ -79,6 +107,19 @@ class BaseMaintainer:
     def maintain(self) -> MaintenanceResult:
         """Bring the sketch up to date with the current database version."""
         raise NotImplementedError
+
+    def maintain_with(
+        self, db_delta: DatabaseDelta, target_version: int | None = None
+    ) -> MaintenanceResult:
+        """Bring the sketch up to date using a delta fetched by the caller.
+
+        Entry point of the shared-delta maintenance scheduler: the scheduler
+        extracts each table's delta from the audit log once per round and fans
+        it out to every stale maintainer.  The base implementation ignores the
+        delta and performs a regular :meth:`maintain` -- correct for the
+        full-maintenance baseline, whose repair never looks at deltas.
+        """
+        return self.maintain()
 
     def ensure_current(self) -> MaintenanceResult:
         """Capture or maintain as needed and return the current sketch."""
@@ -89,13 +130,23 @@ class BaseMaintainer:
         assert self.sketch is not None
         return MaintenanceResult(sketch=self.sketch)
 
+    def retained_version_bytes(self) -> int:
+        """Memory held by retained past sketch versions (the current one is
+        accounted by the store entry that owns this maintainer)."""
+        return sum(sketch.byte_size() for _version, sketch in self.sketch_versions[:-1])
+
     def memory_bytes(self) -> int:
-        """Memory used to keep the sketch maintainable (0 for full maintenance)."""
-        return 0
+        """Memory used to keep the sketch maintainable.
+
+        Counts retained past versions; subclasses add their operator state.
+        """
+        return self.retained_version_bytes()
 
 
 class IncrementalMaintainer(BaseMaintainer):
     """Maintains a sketch with the IMP incremental engine."""
+
+    consumes_deltas = True
 
     def __init__(
         self,
@@ -103,8 +154,9 @@ class IncrementalMaintainer(BaseMaintainer):
         plan: PlanNode,
         partition: DatabasePartition,
         config: IMPConfig | None = None,
+        retain_versions: int = DEFAULT_VERSION_RETENTION,
     ) -> None:
-        super().__init__(database, plan, partition)
+        super().__init__(database, plan, partition, retain_versions=retain_versions)
         self.config = config or IMPConfig()
         self.engine = IncrementalEngine(plan, partition, database, self.config)
 
@@ -124,23 +176,46 @@ class IncrementalMaintainer(BaseMaintainer):
     def maintain(self) -> MaintenanceResult:
         if not self.is_captured:
             return self.capture()
-        assert self.sketch is not None and self.valid_at_version is not None
+        assert self.valid_at_version is not None
         started = time.perf_counter()
         tables = self.plan.referenced_tables()
         db_delta = self.database.database_delta_since(tables, self.valid_at_version)
-        delta_tuples = len(db_delta)
-        if not db_delta:
-            self.valid_at_version = self.database.version
+        return self._maintain_from(db_delta, self.database.version, started)
+
+    def maintain_with(
+        self, db_delta: DatabaseDelta, target_version: int | None = None
+    ) -> MaintenanceResult:
+        """Maintain from a delta the caller already fetched (shared rounds).
+
+        ``db_delta`` must cover all changes of the plan's referenced tables in
+        ``(valid_at_version, target_version]``; deltas of unrelated tables are
+        ignored.  ``target_version`` defaults to the current database version.
+        """
+        if not self.is_captured:
+            return self.capture()
+        started = time.perf_counter()
+        if target_version is None:
+            target_version = self.database.version
+        return self._maintain_from(db_delta, target_version, started)
+
+    def _maintain_from(
+        self, db_delta: DatabaseDelta, target_version: int, started: float
+    ) -> MaintenanceResult:
+        assert self.sketch is not None
+        relevant = self.engine.restrict_delta(db_delta)
+        delta_tuples = len(relevant)
+        if not relevant:
+            self.valid_at_version = target_version
             return MaintenanceResult(
                 sketch=self.sketch, seconds=time.perf_counter() - started
             )
-        outcome = self.engine.maintain(db_delta)
+        outcome = self.engine.maintain(relevant)
         if outcome.needs_recapture:
             # Deletions exhausted a min/max or top-k buffer: fall back to a
             # full recapture (Sec. 7.2).
             self.engine.reset()
             sketch = self.engine.initialize()
-            self._record_version(sketch)
+            self._record_version(sketch, target_version)
             return MaintenanceResult(
                 sketch=sketch,
                 delta_tuples=delta_tuples,
@@ -148,7 +223,7 @@ class IncrementalMaintainer(BaseMaintainer):
                 seconds=time.perf_counter() - started,
             )
         sketch = self.sketch.apply_delta(outcome.sketch_delta)
-        self._record_version(sketch)
+        self._record_version(sketch, target_version)
         return MaintenanceResult(
             sketch=sketch,
             sketch_delta=outcome.sketch_delta,
@@ -157,7 +232,7 @@ class IncrementalMaintainer(BaseMaintainer):
         )
 
     def memory_bytes(self) -> int:
-        return self.engine.memory_bytes()
+        return self.engine.memory_bytes() + self.retained_version_bytes()
 
 
 class FullMaintainer(BaseMaintainer):

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.core.errors import IMPError, PlanError, SketchError
 from repro.imp.engine import IMPConfig
 from repro.imp.maintenance import BaseMaintainer, FullMaintainer, IncrementalMaintainer
+from repro.imp.scheduler import MaintenanceScheduler
 from repro.imp.sketch_store import SketchEntry, SketchStore
 from repro.imp.strategies import LazyStrategy, MaintenanceStrategy
 from repro.relational.algebra import PlanNode
@@ -100,7 +101,10 @@ class WorkloadSystem:
         self.statistics.updates += 1
         self.statistics.update_tuples += len(delta)
         self.statistics.update_seconds += time.perf_counter() - started
-        self._after_update(stored.name, len(delta))
+        if delta:
+            # An empty update commits nothing: it must not advance
+            # statement-counted eager batches or trigger maintenance rounds.
+            self._after_update(stored.name, len(delta))
         return version
 
     def _after_update(self, table: str, delta_tuples: int) -> None:
@@ -140,12 +144,21 @@ class SketchBasedSystem(WorkloadSystem):
         partition_method: str = "equi-depth",
         strategy: MaintenanceStrategy | None = None,
         store_capacity: int | None = None,
+        store_max_bytes: int | None = None,
+        compact_deltas: bool = True,
     ) -> None:
         super().__init__(database)
         self.num_fragments = num_fragments
         self.partition_method = partition_method
         self.strategy = strategy or LazyStrategy()
-        self.store = SketchStore(capacity=store_capacity)
+        self.store = SketchStore(capacity=store_capacity, max_bytes=store_max_bytes)
+        # Both the eager (after-update) and lazy (query-time) maintenance
+        # paths run through the shared-delta scheduler: one audit-log fetch
+        # per distinct (table, version) group per round, compacted before
+        # fan-out to the stale maintainers.
+        self.scheduler = MaintenanceScheduler(
+            database, self.store, compact_deltas=compact_deltas
+        )
 
     # -- maintainer factory (differs between IMP and FM) ----------------------------------
 
@@ -209,15 +222,18 @@ class SketchBasedSystem(WorkloadSystem):
 
     def _answer_with_sketch(self, entry: SketchEntry) -> Relation:
         maintenance_started = time.perf_counter()
-        result = entry.maintainer.ensure_current()
+        result = self.scheduler.ensure_entry(entry)
         maintenance_seconds = time.perf_counter() - maintenance_started
+        # The staleness check and audit-log scan cost time even when they find
+        # an empty delta; dropping no-op runs would understate maintenance.
+        entry.maintenance_seconds += maintenance_seconds
+        self.statistics.maintenance_seconds += maintenance_seconds
         if result.changed or result.delta_tuples:
             entry.maintenance_count += 1
-            entry.maintenance_seconds += maintenance_seconds
             self.statistics.sketch_maintenances += 1
-            self.statistics.maintenance_seconds += maintenance_seconds
             self.store.statistics.maintenances += 1
         entry.use_count += 1
+        self.store.touch(entry)
         sketch = entry.sketch
         assert sketch is not None
         instrumented = instrument_plan(entry.plan, sketch)
@@ -231,14 +247,11 @@ class SketchBasedSystem(WorkloadSystem):
         if not tables:
             return
         started = time.perf_counter()
-        for target in tables:
-            for entry in self.store.entries_for_table(target):
-                result = entry.maintainer.ensure_current()
-                if result.changed or result.delta_tuples:
-                    entry.maintenance_count += 1
-                    self.statistics.sketch_maintenances += 1
-                    self.store.statistics.maintenances += 1
-        self.strategy.acknowledge_maintenance(tables)
+        report = self.scheduler.run_round(tables)
+        self.statistics.sketch_maintenances += report.changed
+        self.strategy.acknowledge_round(tables, report)
+        # Recorded regardless of whether the round changed anything: a round
+        # that only discovers empty deltas still spent maintenance time.
         self.statistics.maintenance_seconds += time.perf_counter() - started
 
     # -- reporting --------------------------------------------------------------------------------
@@ -253,6 +266,8 @@ class SketchBasedSystem(WorkloadSystem):
                 "fallback_queries": self.statistics.fallback_queries,
                 "strategy": self.strategy.describe(),
                 "sketch_memory_bytes": self.store.memory_bytes(),
+                "store_evictions": self.store.statistics.evictions,
+                "scheduler": self.scheduler.summary(),
             }
         )
         return report
@@ -271,6 +286,8 @@ class IMPSystem(SketchBasedSystem):
         partition_method: str = "equi-depth",
         strategy: MaintenanceStrategy | None = None,
         store_capacity: int | None = None,
+        store_max_bytes: int | None = None,
+        compact_deltas: bool = True,
     ) -> None:
         super().__init__(
             database,
@@ -278,6 +295,8 @@ class IMPSystem(SketchBasedSystem):
             partition_method=partition_method,
             strategy=strategy,
             store_capacity=store_capacity,
+            store_max_bytes=store_max_bytes,
+            compact_deltas=compact_deltas,
         )
         self.config = config or IMPConfig()
 

@@ -6,12 +6,20 @@ the query and plan, the partition it is defined over, the database version it
 is valid for, and the maintainer (whose incremental operator state can also be
 persisted into the backend database so maintenance can resume after a restart
 or after state eviction, Sec. 2).
+
+The store supports two eviction modes that can be combined:
+
+* ``capacity`` bounds the number of entries; the victim is the least useful
+  entry (lowest ``use_count``, least recently used on ties).
+* ``max_bytes`` bounds the total memory of sketches plus maintenance state;
+  victims are chosen by recency (least recently used first, lowest
+  ``use_count`` on ties) until the store fits the budget again.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.imp.maintenance import BaseMaintainer
 from repro.relational.algebra import PlanNode
@@ -33,6 +41,7 @@ class SketchEntry:
     maintenance_count: int = 0
     capture_seconds: float = 0.0
     maintenance_seconds: float = 0.0
+    last_used_tick: int = 0
 
     @property
     def sketch(self) -> ProvenanceSketch | None:
@@ -63,15 +72,25 @@ class StoreStatistics:
     captures: int = 0
     maintenances: int = 0
     evictions: int = 0
+    bytes_evictions: int = 0
 
 
 class SketchStore:
     """A template-keyed collection of :class:`SketchEntry` objects."""
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(
+        self, capacity: int | None = None, max_bytes: int | None = None
+    ) -> None:
         self._entries: dict[str, SketchEntry] = {}
         self._capacity = capacity
+        self._max_bytes = max_bytes
+        self._tick = 0
         self.statistics = StoreStatistics()
+
+    @property
+    def max_bytes(self) -> int | None:
+        """Memory budget for sketches plus maintenance state (None = unbounded)."""
+        return self._max_bytes
 
     # -- lookup --------------------------------------------------------------------
 
@@ -82,7 +101,13 @@ class SketchStore:
             self.statistics.misses += 1
         else:
             self.statistics.hits += 1
+            self.touch(entry)
         return entry
+
+    def touch(self, entry: SketchEntry) -> None:
+        """Mark ``entry`` as just used (feeds recency-aware eviction)."""
+        self._tick += 1
+        entry.last_used_tick = self._tick
 
     def __contains__(self, template: QueryTemplate) -> bool:
         return template.text in self._entries
@@ -104,15 +129,23 @@ class SketchStore:
     # -- mutation --------------------------------------------------------------------
 
     def put(self, entry: SketchEntry) -> None:
-        """Register a new entry, evicting the least recently useful one if full."""
+        """Register a new entry, evicting the least recently useful one if full.
+
+        Re-putting an existing template replaces the entry without counting a
+        new capture or triggering capacity eviction.
+        """
+        is_new = entry.template.text not in self._entries
         if (
-            self._capacity is not None
-            and entry.template.text not in self._entries
+            is_new
+            and self._capacity is not None
             and len(self._entries) >= self._capacity
         ):
             self._evict_one()
+        self.touch(entry)
         self._entries[entry.template.text] = entry
-        self.statistics.captures += 1
+        if is_new:
+            self.statistics.captures += 1
+        self.enforce_memory_budget(protect=entry)
 
     def remove(self, template: QueryTemplate) -> None:
         """Drop the entry for a template (no error when absent)."""
@@ -123,9 +156,49 @@ class SketchStore:
         self._entries.clear()
 
     def _evict_one(self) -> None:
-        victim = min(self._entries.values(), key=lambda entry: entry.use_count)
+        # Least useful first; least recently used breaks use_count ties so the
+        # choice is deterministic (dict order would silently depend on
+        # insertion history otherwise).
+        victim = min(
+            self._entries.values(),
+            key=lambda entry: (entry.use_count, entry.last_used_tick),
+        )
         del self._entries[victim.template.text]
         self.statistics.evictions += 1
+
+    def enforce_memory_budget(self, protect: SketchEntry | None = None) -> int:
+        """Evict least-recently-used entries until the store fits ``max_bytes``.
+
+        ``protect`` (typically the entry that was just registered) is never
+        evicted, so a budget smaller than one sketch degenerates to keeping
+        exactly the hottest entry rather than thrashing.  Returns the number of
+        entries evicted.  Callers may also invoke this after maintenance
+        rounds, when operator state -- not registration -- grew the footprint.
+        """
+        if self._max_bytes is None:
+            return 0
+        # Size each entry once and evict cheapest-first from a sorted victim
+        # list, keeping a running total: evicting k of N entries costs one
+        # footprint walk, not one per eviction.
+        sizes = {
+            entry.template.text: entry.memory_bytes()
+            for entry in self._entries.values()
+        }
+        total = sum(sizes.values())
+        victims = sorted(
+            (entry for entry in self._entries.values() if entry is not protect),
+            key=lambda entry: (entry.last_used_tick, entry.use_count),
+        )
+        evicted = 0
+        for victim in victims:
+            if total <= self._max_bytes:
+                break
+            del self._entries[victim.template.text]
+            total -= sizes[victim.template.text]
+            self.statistics.evictions += 1
+            self.statistics.bytes_evictions += 1
+            evicted += 1
+        return evicted
 
     # -- reporting ---------------------------------------------------------------------
 
@@ -141,5 +214,6 @@ class SketchStore:
             "misses": self.statistics.misses,
             "captures": self.statistics.captures,
             "maintenances": self.statistics.maintenances,
+            "evictions": self.statistics.evictions,
             "memory_bytes": self.memory_bytes(),
         }

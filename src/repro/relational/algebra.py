@@ -77,8 +77,15 @@ class TableScan(PlanNode):
     """
 
     def __init__(self, table: str, alias: str | None = None) -> None:
-        self.table = table
+        # The backend catalog is case-insensitive (names are stored lowercase);
+        # normalising here -- the single place plans name base tables -- keeps
+        # referenced_tables() comparable with audit-log and store table keys,
+        # so mixed-case SQL cannot silently skip staleness checks or eager
+        # maintenance.  The alias keeps its spelling (including the implicit
+        # table-name alias): it qualifies columns and must match how the query
+        # references them.
         self.alias = alias or table
+        self.table = table.lower()
 
     def children(self) -> tuple[PlanNode, ...]:
         return ()

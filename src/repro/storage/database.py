@@ -45,6 +45,7 @@ class Database:
         self._audit_log = AuditLog()
         self._scan_counter = 0
         self._index_scan_counter = 0
+        self._delta_fetch_counter = 0
 
     # -- catalog -------------------------------------------------------------------
 
@@ -136,10 +137,21 @@ class Database:
         """Number of base-table scans served (a rough I/O cost proxy)."""
         return self._scan_counter
 
+    @property
+    def delta_fetch_count(self) -> int:
+        """Number of per-table audit-log delta extractions served.
+
+        The maintenance scheduler's shared-delta rounds are judged by this
+        counter: one fetch per distinct (table, version-range) group instead of
+        one per registered sketch.
+        """
+        return self._delta_fetch_counter
+
     def delta_since(self, table: str, since: int, until: int | None = None) -> Delta:
         """The combined delta of ``table`` between versions ``since`` and ``until``."""
         until = self._version if until is None else until
         self._validate_versions(since, until)
+        self._delta_fetch_counter += 1
         return self._audit_log.delta_between(table, self.schema_of(table), since, until)
 
     def database_delta_since(
@@ -149,6 +161,7 @@ class Database:
         until = self._version if until is None else until
         self._validate_versions(since, until)
         schemas = {table: self.schema_of(table) for table in tables}
+        self._delta_fetch_counter += len(schemas)
         return self._audit_log.database_delta_between(schemas, since, until)
 
     def tables_changed_since(self, since: int, until: int | None = None) -> set[str]:

@@ -131,6 +131,28 @@ class Delta:
         for row, multiplicity in other._deletes.items():
             self.add_delete(row, multiplicity)
 
+    def compacted(self) -> "Delta":
+        """Cancel matching insert/delete pairs, keeping only the net effect.
+
+        A row inserted by one update and deleted again by a later update in
+        the same merged window contributes nothing to the net delta; a
+        sequence of updates compacts to one signed occurrence per row.  The
+        incremental operators are linear in the delta, so feeding them the
+        compacted delta yields the same state and sketch as replaying every
+        intermediate change -- in time proportional to the *net* delta
+        (DBToaster-style shared delta processing).
+        """
+        compact = Delta(self.schema)
+        for row, inserted in self._inserts.items():
+            net = inserted - self._deletes.get(row, 0)
+            if net > 0:
+                compact._inserts[row] = net
+        for row, deleted in self._deletes.items():
+            net = deleted - self._inserts.get(row, 0)
+            if net > 0:
+                compact._deletes[row] = net
+        return compact
+
     def _check(self, row: Row, multiplicity: int) -> None:
         if len(row) != len(self.schema):
             raise SchemaError(

@@ -6,10 +6,19 @@ committed update produces a new monotonically increasing version number and an
 :class:`AuditRecord` describing the per-table delta of the update.  The
 :class:`AuditLog` answers "what changed between version v1 and v2 in table R?"
 -- exactly the query IMP issues when it maintains a stale sketch.
+
+Versions are strictly increasing, so the log keeps two indexes alongside the
+record list: a sorted version array for binary-searching any ``(since, until]``
+window, and a per-table version array so ``delta_between`` visits only the
+records that actually touched the requested table.  Both turn delta extraction
+from a scan over the full history into work proportional to the answered
+window -- the property the shared-delta maintenance scheduler relies on when
+many sketches ask for deltas every round.
 """
 
 from __future__ import annotations
 
+import bisect
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
@@ -34,6 +43,11 @@ class AuditLog:
 
     def __init__(self) -> None:
         self._records: list[AuditRecord] = []
+        self._versions: list[int] = []
+        # table -> parallel (sorted versions, deltas) arrays of the records
+        # that touched it; lets delta_between skip unrelated records entirely.
+        self._table_versions: dict[str, list[int]] = {}
+        self._table_deltas: dict[str, list[Delta]] = {}
 
     def append(self, record: AuditRecord) -> None:
         """Append a record; versions must be strictly increasing."""
@@ -43,6 +57,10 @@ class AuditLog:
                 f"the latest recorded version {self._records[-1].version}"
             )
         self._records.append(record)
+        self._versions.append(record.version)
+        for table, delta in record.deltas.items():
+            self._table_versions.setdefault(table, []).append(record.version)
+            self._table_deltas.setdefault(table, []).append(delta)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -53,9 +71,9 @@ class AuditLog:
 
     def records_between(self, since: int, until: int) -> Iterator[AuditRecord]:
         """Records with ``since < version <= until``."""
-        for record in self._records:
-            if since < record.version <= until:
-                yield record
+        low = bisect.bisect_right(self._versions, since)
+        high = bisect.bisect_right(self._versions, until)
+        return iter(self._records[low:high])
 
     def delta_between(
         self, table: str, schema: Schema, since: int, until: int
@@ -64,13 +82,20 @@ class AuditLog:
 
         The result accumulates every recorded change without cancelling
         insert/delete pairs of the same row -- the incremental operators handle
-        both signs and the over-approximation stays sound either way.
+        both signs and the over-approximation stays sound either way.  Callers
+        that want the net effect compact the result (:meth:`Delta.compacted`).
+        Served from the per-table version index, so cost is proportional to the
+        records of ``table`` inside the window, not the full history.
         """
+        versions = self._table_versions.get(table)
         combined = Delta(schema)
-        for record in self.records_between(since, until):
-            table_delta = record.deltas.get(table)
-            if table_delta is not None:
-                combined.merge(table_delta)
+        if not versions:
+            return combined
+        deltas = self._table_deltas[table]
+        low = bisect.bisect_right(versions, since)
+        high = bisect.bisect_right(versions, until)
+        for position in range(low, high):
+            combined.merge(deltas[position])
         return combined
 
     def database_delta_between(
@@ -87,8 +112,10 @@ class AuditLog:
     def tables_changed_between(self, since: int, until: int) -> set[str]:
         """Names of tables touched by any update in ``(since, until]``."""
         changed: set[str] = set()
-        for record in self.records_between(since, until):
-            changed.update(record.deltas)
+        for table, versions in self._table_versions.items():
+            low = bisect.bisect_right(versions, since)
+            if low < bisect.bisect_right(versions, until):
+                changed.add(table)
         return changed
 
     def prune_before(self, version: int) -> int:
@@ -97,7 +124,18 @@ class AuditLog:
         Mirrors the backend reclaiming audit history once every sketch has been
         maintained past that point.
         """
-        keep = [record for record in self._records if record.version > version]
-        dropped = len(self._records) - len(keep)
-        self._records = keep
+        keep_from = bisect.bisect_right(self._versions, version)
+        dropped = keep_from
+        if dropped:
+            self._records = self._records[keep_from:]
+            self._versions = self._versions[keep_from:]
+            for table in list(self._table_versions):
+                versions = self._table_versions[table]
+                cut = bisect.bisect_right(versions, version)
+                if cut == len(versions):
+                    del self._table_versions[table]
+                    del self._table_deltas[table]
+                elif cut:
+                    self._table_versions[table] = versions[cut:]
+                    self._table_deltas[table] = self._table_deltas[table][cut:]
         return dropped

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.imp.middleware import WorkloadSystem
 from repro.relational.schema import Row
-from repro.workloads.synthetic import SyntheticTable
+from repro.workloads.synthetic import DEFAULT_ATTRIBUTES, SyntheticTable
 
 
 @dataclass
@@ -45,6 +45,46 @@ def parse_ratio(ratio: str) -> tuple[int, int]:
     updates_part, queries_part = ratio.split("U", 1)
     queries_part = queries_part.rstrip("Q")
     return int(updates_part), int(queries_part)
+
+
+def multi_sketch_templates(
+    count: int, table: str = "r", threshold: float = 1000.0
+) -> list[str]:
+    """``count`` structurally distinct group-by/HAVING queries over one table.
+
+    The multi-tenant scenario of the shared-delta maintenance scheduler:
+    dozens of query templates (distinct aggregate/HAVING attribute pairs, so
+    each gets its own sketch-store entry) all referencing the *same* base
+    table.  Every update to the table makes every registered sketch stale at
+    once, which is exactly the situation where per-sketch maintenance degrades
+    to N identical audit-log extractions.
+    """
+    attributes = [name for name in DEFAULT_ATTRIBUTES if name != "a"]
+    templates: list[str] = []
+    for index in range(count):
+        agg = attributes[index % len(attributes)]
+        having = attributes[(index // len(attributes)) % len(attributes)]
+        # The projection alias carries the index, so every query is a distinct
+        # template (thresholds alone are parameterised away, Sec. 7.1) while
+        # the attribute pairs keep the per-sketch maintenance work varied.
+        templates.append(
+            f"SELECT a, avg({agg}) AS v{index} FROM {table} "
+            f"GROUP BY a HAVING avg({having}) < {threshold + index}"
+        )
+    return templates
+
+
+def rotating_query_factory(queries: Sequence[str]) -> Callable[[random.Random], str]:
+    """A query factory for :class:`MixedWorkload` that cycles through a fixed
+    template list, so a workload exercises many registered sketches."""
+    state = {"next": 0}
+
+    def factory(_rng: random.Random) -> str:
+        sql = queries[state["next"] % len(queries)]
+        state["next"] += 1
+        return sql
+
+    return factory
 
 
 class MixedWorkload:
