@@ -61,6 +61,13 @@ class IMPConfig:
         schema-resolved closures instead of interpreting the expression AST
         per tuple.  Results are identical either way; ``False`` exists for the
         interpreted baseline in benchmarks and differential tests.
+    ``optimize_plans``
+        Run backend query plans (instrumented or fallback) through the
+        logical plan optimizer before evaluation, so pushed-down user
+        predicates merge with the sketch BETWEEN disjunctions and every scan
+        can be served from an ordered index.  Results are identical either
+        way; ``False`` keeps the translator's literal plan shape for the
+        unoptimized baseline in benchmarks and differential tests.
     """
 
     use_bloom_filters: bool = True
@@ -69,6 +76,7 @@ class IMPConfig:
     topk_buffer: int | None = None
     bloom_false_positive_rate: float = 0.01
     compile_expressions: bool = True
+    optimize_plans: bool = True
 
     def describe(self) -> str:
         """Compact textual form used by the benchmark reports."""
@@ -76,7 +84,8 @@ class IMPConfig:
             f"bloom={'on' if self.use_bloom_filters else 'off'}, "
             f"pushdown={'on' if self.selection_pushdown else 'off'}, "
             f"minmax_buffer={self.min_max_buffer}, topk_buffer={self.topk_buffer}, "
-            f"compile={'on' if self.compile_expressions else 'off'}"
+            f"compile={'on' if self.compile_expressions else 'off'}, "
+            f"optimize={'on' if self.optimize_plans else 'off'}"
         )
 
 

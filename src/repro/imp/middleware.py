@@ -27,6 +27,7 @@ from repro.imp.scheduler import MaintenanceScheduler
 from repro.imp.sketch_store import SketchEntry, SketchStore
 from repro.imp.strategies import LazyStrategy, MaintenanceStrategy
 from repro.relational.algebra import PlanNode
+from repro.relational.optimizer import PlanOptimizer
 from repro.relational.schema import Relation, Row
 from repro.sketch.selection import build_database_partition
 from repro.sketch.use import instrument_plan
@@ -126,9 +127,13 @@ class NoSketchSystem(WorkloadSystem):
 
     name = "no-sketch"
 
+    def __init__(self, database: Database, optimize_plans: bool = True) -> None:
+        super().__init__(database)
+        self.optimize_plans = optimize_plans
+
     def run_query(self, sql: str) -> Relation:
         started = time.perf_counter()
-        result = self.database.query(sql)
+        result = self.database.query(sql, optimize_plans=self.optimize_plans)
         self.statistics.queries += 1
         self.statistics.query_seconds += time.perf_counter() - started
         return result
@@ -146,11 +151,16 @@ class SketchBasedSystem(WorkloadSystem):
         store_capacity: int | None = None,
         store_max_bytes: int | None = None,
         compact_deltas: bool = True,
+        optimize_plans: bool = True,
     ) -> None:
         super().__init__(database)
         self.num_fragments = num_fragments
         self.partition_method = partition_method
         self.strategy = strategy or LazyStrategy()
+        self.optimize_plans = optimize_plans
+        # One optimizer per system: its cardinality estimator shares the
+        # database's per-version statistics cache across queries.
+        self._plan_optimizer = PlanOptimizer(database)
         self.store = SketchStore(capacity=store_capacity, max_bytes=store_max_bytes)
         # Both the eager (after-update) and lazy (query-time) maintenance
         # paths run through the shared-delta scheduler: one audit-log fetch
@@ -179,7 +189,7 @@ class SketchBasedSystem(WorkloadSystem):
                 # No safe sketch attribute or unsupported operator: answer the
                 # query without provenance-based data skipping.
                 self.statistics.fallback_queries += 1
-                result = self.database.query(plan)
+                result = self.database.query(plan, optimize_plans=self.optimize_plans)
                 return result
             self.statistics.sketch_hits += 1
             result = self._answer_with_sketch(entry)
@@ -236,8 +246,23 @@ class SketchBasedSystem(WorkloadSystem):
         self.store.touch(entry)
         sketch = entry.sketch
         assert sketch is not None
-        instrumented = instrument_plan(entry.plan, sketch)
-        return self.database.query(instrumented)
+        # Optimizing the instrumented plan merges the injected sketch
+        # disjunction with pushed-down user predicates at each scan, so the
+        # backend serves both from one index range scan; the plan kept in the
+        # store entry stays unoptimized (capture and incremental maintenance
+        # operate on the translator's shape).  The rewritten plan is cached on
+        # the entry and reused while the sketch's version is unchanged, so
+        # read-heavy workloads pay for the rewrite once per maintenance.
+        if (
+            entry.instrumented_plan is None
+            or entry.instrumented_at_version != entry.valid_at_version
+        ):
+            optimizer = self._plan_optimizer if self.optimize_plans else None
+            entry.set_instrumented(
+                instrument_plan(entry.plan, sketch, optimizer=optimizer),
+                entry.valid_at_version,
+            )
+        return self.database.query(entry.instrumented_plan, optimize_plans=False)
 
     # -- update path (eager maintenance hook) ----------------------------------------------------
 
@@ -289,6 +314,7 @@ class IMPSystem(SketchBasedSystem):
         store_max_bytes: int | None = None,
         compact_deltas: bool = True,
     ) -> None:
+        self.config = config or IMPConfig()
         super().__init__(
             database,
             num_fragments=num_fragments,
@@ -297,8 +323,8 @@ class IMPSystem(SketchBasedSystem):
             store_capacity=store_capacity,
             store_max_bytes=store_max_bytes,
             compact_deltas=compact_deltas,
+            optimize_plans=self.config.optimize_plans,
         )
-        self.config = config or IMPConfig()
 
     def _make_maintainer(self, plan: PlanNode, partition) -> BaseMaintainer:
         return IncrementalMaintainer(self.database, plan, partition, self.config)
@@ -321,5 +347,5 @@ def make_system(kind: str, database: Database, **kwargs) -> WorkloadSystem:
     if kind in ("fm", "full", "full-maintenance"):
         return FullMaintenanceSystem(database, **kwargs)
     if kind in ("ns", "none", "no-sketch"):
-        return NoSketchSystem(database)
+        return NoSketchSystem(database, **kwargs)
     raise IMPError(f"unknown system kind {kind!r}")

@@ -22,7 +22,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.imp.maintenance import BaseMaintainer
-from repro.relational.algebra import PlanNode
+from repro.relational.algebra import PlanNode, walk_plan
 from repro.sketch.ranges import DatabasePartition
 from repro.sketch.sketch import ProvenanceSketch
 from repro.sql.template import QueryTemplate
@@ -42,6 +42,28 @@ class SketchEntry:
     capture_seconds: float = 0.0
     maintenance_seconds: float = 0.0
     last_used_tick: int = 0
+    # Cache of the (optimized) instrumented plan, valid only while the sketch
+    # stays at ``instrumented_at_version``: the sketch at a given database
+    # version is deterministic, so the rewritten plan is too.  Avoids
+    # re-running the use rewrite and the optimizer on every sketch-hit query
+    # of a read-heavy workload.  Set via :meth:`set_instrumented` so the plan
+    # counts toward the store's memory budget.
+    instrumented_plan: PlanNode | None = None
+    instrumented_at_version: int | None = None
+    instrumented_bytes: int = 0
+
+    def set_instrumented(self, plan: PlanNode, version: int | None) -> None:
+        """Cache the instrumented plan for the sketch valid at ``version``.
+
+        The plan's footprint is estimated once (node overhead plus rendered
+        operator descriptions, which include the sketch's BETWEEN disjunction)
+        so ``max_bytes`` eviction sees it.
+        """
+        self.instrumented_plan = plan
+        self.instrumented_at_version = version
+        self.instrumented_bytes = sum(
+            64 + 2 * len(node.describe()) for node in walk_plan(plan)
+        )
 
     @property
     def sketch(self) -> ProvenanceSketch | None:
@@ -58,9 +80,10 @@ class SketchEntry:
         return self.plan.referenced_tables()
 
     def memory_bytes(self) -> int:
-        """Memory used by the sketch and its maintenance state."""
+        """Memory used by the sketch, its maintenance state and the cached
+        instrumented plan."""
         sketch_bytes = self.sketch.byte_size() if self.sketch is not None else 0
-        return sketch_bytes + self.maintainer.memory_bytes()
+        return sketch_bytes + self.maintainer.memory_bytes() + self.instrumented_bytes
 
 
 @dataclass

@@ -29,6 +29,7 @@ from repro.relational.algebra import (
     walk_plan,
 )
 from repro.relational.evaluator import Evaluator, RelationProvider
+from repro.relational.optimizer import CardinalityEstimator, PlanOptimizer, optimize_plan
 from repro.relational.expressions import (
     BinaryOp,
     Between,
@@ -50,6 +51,7 @@ __all__ = [
     "Aggregation",
     "Between",
     "BinaryOp",
+    "CardinalityEstimator",
     "ColumnRef",
     "Comparison",
     "CrossProduct",
@@ -63,6 +65,7 @@ __all__ = [
     "LogicalOp",
     "Not",
     "PlanNode",
+    "PlanOptimizer",
     "Projection",
     "ProjectionItem",
     "Relation",
@@ -72,5 +75,6 @@ __all__ = [
     "TableScan",
     "TopK",
     "UnaryMinus",
+    "optimize_plan",
     "walk_plan",
 ]

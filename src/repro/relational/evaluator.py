@@ -27,16 +27,25 @@ from repro.relational.algebra import (
 )
 from repro.relational.expressions import (
     ColumnRef,
+    Comparison,
     CompiledExpression,
     Expression,
+    Literal,
     compile_expression,
     compile_row_expressions,
+    conjuncts,
 )
 from repro.relational.schema import Relation, Row, Schema, order_component
 
 
 class RelationProvider(Protocol):
-    """Source of base relations, typically the backend database."""
+    """Source of base relations, typically the backend database.
+
+    ``relation`` must return a relation *owned by the caller*: the evaluator
+    re-labels it with the scan alias and may hand it to the caller as the
+    query result, so a provider must not return internal mutable state
+    (:meth:`repro.storage.database.Database.relation` returns a fresh copy).
+    """
 
     def relation(self, table: str) -> Relation:  # pragma: no cover - protocol
         ...
@@ -123,11 +132,26 @@ class Evaluator:
     loops, so selection, projection, join and aggregation evaluate without
     per-row schema lookups; ``compile_expressions=False`` falls back to the
     interpreted ``Expression.evaluate`` (used as the baseline in benchmarks).
+
+    With ``optimize_plans=True`` plans are first rewritten by the logical
+    optimizer (:mod:`repro.relational.optimizer`): predicates are pushed down
+    to the scans (where the index-scan fast path can serve them), joins are
+    re-ordered by estimated cardinality and unused columns are pruned.  The
+    default is off so a bare ``Evaluator`` stays the literal reference
+    semantics used as the oracle in differential tests;
+    :meth:`repro.storage.database.Database.evaluator` turns it on.
     """
 
-    def __init__(self, provider: RelationProvider, compile_expressions: bool = True) -> None:
+    def __init__(
+        self,
+        provider: RelationProvider,
+        compile_expressions: bool = True,
+        optimize_plans: bool = False,
+    ) -> None:
         self._provider = provider
         self._compile_expressions = compile_expressions
+        self._optimize_plans = optimize_plans
+        self._optimizer = None
 
     def _compiled(self, expression: Expression, schema: Schema) -> CompiledExpression:
         return compile_expression(expression, schema, self._compile_expressions)
@@ -136,7 +160,17 @@ class Evaluator:
 
     def evaluate(self, plan: PlanNode) -> Relation:
         """Evaluate ``plan`` and return its output relation."""
+        if self._optimize_plans:
+            plan = self.optimized(plan)
         return self._evaluate(plan)
+
+    def optimized(self, plan: PlanNode) -> PlanNode:
+        """The plan as the optimizer would rewrite it (EXPLAIN-style hook)."""
+        if self._optimizer is None:
+            from repro.relational.optimizer import PlanOptimizer
+
+            self._optimizer = PlanOptimizer(self._provider)
+        return self._optimizer.optimize(plan)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -160,14 +194,23 @@ class Evaluator:
     # -- operators ---------------------------------------------------------------
 
     def _table_scan(self, node: TableScan) -> Relation:
+        # The provider protocol guarantees the returned relation is caller-
+        # owned, so re-labelling it with the alias-qualified schema in place
+        # avoids copying every row (the rows themselves are identical).
         base = self._provider.relation(node.table)
         schema = base.schema.qualify(node.alias)
-        result = Relation(schema)
-        for row, multiplicity in base.items():
-            result.add(row, multiplicity)
-        return result
+        if schema != base.schema:
+            base.schema = schema
+        return base
 
     def _selection(self, node: Selection) -> Relation:
+        if isinstance(node.predicate, Literal):
+            # Constant predicates (e.g. the folded contradiction of an empty
+            # sketch) need no scan at all: True passes everything through and
+            # False/NULL filters everything out.
+            if node.predicate.value is True:
+                return self._evaluate(node.child)
+            return Relation(node.child.output_schema(self._provider))
         indexed = self._try_index_scan(node)
         if indexed is not None:
             return indexed
@@ -227,9 +270,9 @@ class Evaluator:
         right = self._evaluate(node.right)
         schema = left.schema.concat(right.schema)
         result = Relation(schema)
-        keys = node.equi_join_keys()
-        if keys is not None and self._keys_split(keys, left.schema, right.schema):
-            self._hash_join(node, left, right, schema, result)
+        pairs = self._equi_pairs(node.condition, left.schema, right.schema)
+        if pairs:
+            self._hash_join(node, left, right, schema, result, pairs)
             return result
         condition = (
             None if node.condition is None else self._compiled(node.condition, schema)
@@ -242,14 +285,41 @@ class Evaluator:
         return result
 
     @staticmethod
-    def _keys_split(
-        keys: tuple[list[str], list[str]], left: Schema, right: Schema
-    ) -> bool:
-        """Whether the equi-join keys reference one side each (possibly swapped)."""
-        first, second = keys
-        straight = all(left.has(k) for k in first) and all(right.has(k) for k in second)
-        swapped = all(right.has(k) for k in first) and all(left.has(k) for k in second)
-        return straight or swapped
+    def _equi_pairs(
+        condition: Expression | None, left: Schema, right: Schema
+    ) -> list[tuple[int, int]]:
+        """Hashable ``(left position, right position)`` pairs of the condition.
+
+        Any equality conjunct between one attribute of each side can drive a
+        hash join, even when other conjuncts (range predicates pushed into the
+        condition by the optimizer) ride along: the full condition is still
+        re-checked on every matching pair.  Names resolve against the combined
+        schema, exactly as the compiled condition will bind them.
+        """
+        if condition is None:
+            return []
+        combined = left.concat(right)
+        split = len(left)
+        pairs: list[tuple[int, int]] = []
+        for conjunct in conjuncts(condition):
+            if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+                continue
+            if not isinstance(conjunct.left, ColumnRef) or not isinstance(
+                conjunct.right, ColumnRef
+            ):
+                continue
+            try:
+                a = combined.index_of(conjunct.left.name)
+                b = combined.index_of(conjunct.right.name)
+            except Exception:
+                # Unresolvable or ambiguous references: the error belongs to
+                # condition compilation, which the fallback path will surface.
+                continue
+            if a < split <= b:
+                pairs.append((a, b - split))
+            elif b < split <= a:
+                pairs.append((b, a - split))
+        return pairs
 
     def _hash_join(
         self,
@@ -258,14 +328,10 @@ class Evaluator:
         right: Relation,
         schema: Schema,
         result: Relation,
+        pairs: list[tuple[int, int]],
     ) -> None:
-        first, second = node.equi_join_keys()  # type: ignore[misc]
-        if all(left.schema.has(k) for k in first) and all(right.schema.has(k) for k in second):
-            left_keys, right_keys = first, second
-        else:
-            left_keys, right_keys = second, first
-        left_positions = [left.schema.index_of(k) for k in left_keys]
-        right_positions = [right.schema.index_of(k) for k in right_keys]
+        left_positions = [pair[0] for pair in pairs]
+        right_positions = [pair[1] for pair in pairs]
         condition = (
             None if node.condition is None else self._compiled(node.condition, schema)
         )

@@ -46,6 +46,10 @@ class Database:
         self._scan_counter = 0
         self._index_scan_counter = 0
         self._delta_fetch_counter = 0
+        # Statistics are cached per (table, attribute) for the *current*
+        # version; every committed update invalidates the whole cache, so a
+        # cached entry is always as fresh as the data it summarises.
+        self._statistics_cache: dict[tuple, object] = {}
 
     # -- catalog -------------------------------------------------------------------
 
@@ -69,6 +73,7 @@ class Database:
         if name not in self._tables:
             raise StorageError(f"unknown table {name!r}")
         del self._tables[name]
+        self._statistics_cache.clear()
 
     def has_table(self, name: str) -> bool:
         """Whether a table with this name exists."""
@@ -119,6 +124,22 @@ class Database:
     def index_scan_count(self) -> int:
         """Number of selections served by an index range scan."""
         return self._index_scan_counter
+
+    @property
+    def full_scan_count(self) -> int:
+        """Alias of :attr:`scan_count` under the name the optimizer work uses.
+
+        Every :meth:`relation` call fetches a whole table (query table scans,
+        but also capture and maintenance reads); selections served through
+        :meth:`index_scan` bypass it.  Comparing this counter across systems
+        running the same workload is how the fig. 21 benchmark shows the
+        optimizer turning full scans into index scans.
+        """
+        return self._scan_counter
+
+    def row_count(self, table: str) -> int:
+        """Current number of rows of ``table`` (duplicates included)."""
+        return len(self.table(table))
 
     # -- versions & deltas --------------------------------------------------------------
 
@@ -276,23 +297,35 @@ class Database:
             self.table(table).apply_delta(delta)
         self._version += 1
         self._audit_log.append(AuditRecord(self._version, dict(deltas)))
+        self._statistics_cache.clear()
         return self._version
 
     # -- query evaluation -----------------------------------------------------------------
 
-    def evaluator(self) -> Evaluator:
-        """An evaluator bound to this database."""
-        return Evaluator(self)
+    def evaluator(self, optimize_plans: bool = True) -> Evaluator:
+        """An evaluator bound to this database.
+
+        Plans are optimized by default (predicate pushdown to the scans, join
+        reordering, projection pruning); ``optimize_plans=False`` keeps the
+        literal plan shape for differential testing.
+        """
+        return Evaluator(self, optimize_plans=optimize_plans)
 
     def translator(self) -> Translator:
         """A SQL-to-algebra translator bound to this database's catalog."""
         return Translator(self)
 
-    def plan(self, sql: str) -> PlanNode:
-        """Parse and translate a SQL query into a logical plan."""
-        return self.translator().translate_sql(sql)
+    def plan(self, sql: str, optimize: bool = False) -> PlanNode:
+        """Parse and translate a SQL query into a logical plan.
 
-    def query(self, query: str | PlanNode | SelectStatement) -> Relation:
+        With ``optimize=True`` the cost-based plan optimizer is applied,
+        using this database's statistics for cardinality estimates.
+        """
+        return self.translator().translate_sql(sql, optimize=optimize)
+
+    def query(
+        self, query: str | PlanNode | SelectStatement, optimize_plans: bool = True
+    ) -> Relation:
         """Evaluate a SQL string, parsed statement, or logical plan."""
         if isinstance(query, str):
             plan = self.plan(query)
@@ -300,7 +333,7 @@ class Database:
             plan = self.translator().translate(query)
         else:
             plan = query
-        return self.evaluator().evaluate(plan)
+        return self.evaluator(optimize_plans=optimize_plans).evaluate(plan)
 
     def execute(self, sql: str) -> Relation | int:
         """Execute any supported statement.
@@ -344,20 +377,39 @@ class Database:
     # -- statistics ---------------------------------------------------------------------------
 
     def column_statistics(self, table: str, attribute: str) -> ColumnStatistics:
-        """Summary statistics for one column."""
+        """Summary statistics for one column.
+
+        Cached per (table, attribute) until the next committed update, so
+        repeated sketch-range selection and the plan optimizer's cardinality
+        estimator do not rescan whole columns.
+        """
         stored = self.table(table)
+        key = ("column", stored.name, attribute)
+        cached = self._statistics_cache.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
         index = stored.schema.index_of(attribute)
         values = [row[index] for row in stored.rows()]
-        return collect_column_statistics(attribute, values)
+        statistics = collect_column_statistics(attribute, values)
+        self._statistics_cache[key] = statistics
+        return statistics
 
     def equi_depth_ranges(self, table: str, attribute: str, num_buckets: int) -> list[float]:
         """Equi-depth histogram boundaries for ``table.attribute``.
 
         These boundaries are the ranges used when creating sketches
-        (paper Sec. 7.4).
+        (paper Sec. 7.4) and the interval-selectivity source of the plan
+        optimizer.  Cached like :meth:`column_statistics`; a copy is returned
+        so callers cannot corrupt the cached list.
         """
-        values = self.table(table).column_values(attribute)
-        return equi_depth_boundaries([float(v) for v in values], num_buckets)
+        stored = self.table(table)
+        key = ("equi-depth", stored.name, attribute, num_buckets)
+        cached = self._statistics_cache.get(key)
+        if cached is None:
+            values = stored.column_values(attribute)
+            cached = equi_depth_boundaries([float(v) for v in values], num_buckets)
+            self._statistics_cache[key] = cached
+        return list(cached)  # type: ignore[arg-type]
 
     # -- maintenance helpers -------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ equi-depth and equi-width boundary computation plus simple column statistics.
 
 from __future__ import annotations
 
+import bisect
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -61,7 +62,11 @@ def equi_depth_boundaries(
             boundaries.append(candidate)
     if data[-1] > boundaries[-1]:
         boundaries.append(data[-1])
-    else:
+    elif len(boundaries) == 1:
+        # A single distinct value still needs two boundaries to delimit one
+        # (zero-width) bucket.  For every other input the maximum is already
+        # the last boundary; appending it again would create a duplicated
+        # final boundary and a degenerate zero-width last bucket.
         boundaries.append(boundaries[-1])
     return boundaries
 
@@ -90,18 +95,51 @@ def histogram_counts(values: Sequence[float], boundaries: Sequence[float]) -> li
     """
     if len(boundaries) < 2:
         raise ValueError("need at least two boundaries")
-    counts = [0] * (len(boundaries) - 1)
+    num_buckets = len(boundaries) - 1
+    counts = [0] * num_buckets
     for value in values:
         if value is None:
             continue
         if value < boundaries[0] or value > boundaries[-1]:
             continue
-        placed = False
-        for i in range(len(boundaries) - 2):
-            if boundaries[i] <= value < boundaries[i + 1]:
-                counts[i] += 1
-                placed = True
-                break
-        if not placed:
-            counts[-1] += 1
+        # Binary search over the sorted boundaries instead of a per-value
+        # linear bucket scan; a value equal to the last boundary falls into
+        # the final (right-inclusive) bucket.
+        index = bisect.bisect_right(boundaries, value) - 1
+        if index >= num_buckets:
+            index = num_buckets - 1
+        counts[index] += 1
     return counts
+
+
+def equi_depth_fraction(
+    boundaries: Sequence[float], low: float, high: float
+) -> float:
+    """Fraction of values in ``[low, high]`` under an equi-depth histogram.
+
+    Each of the ``len(boundaries) - 1`` buckets is assumed to hold the same
+    share of values, uniformly distributed inside the bucket; a zero-width
+    bucket contributes its full share when the query interval contains it.
+    This is the interval-selectivity estimate the plan optimizer's cost model
+    uses (row count x selectivity).
+    """
+    num_buckets = len(boundaries) - 1
+    if num_buckets <= 0:
+        raise ValueError("need at least two boundaries")
+    if high < low:
+        return 0.0
+    low = max(low, boundaries[0])
+    high = min(high, boundaries[-1])
+    if high < low:
+        return 0.0
+    total = 0.0
+    for i in range(num_buckets):
+        bucket_low, bucket_high = boundaries[i], boundaries[i + 1]
+        if bucket_high < low or bucket_low > high:
+            continue
+        if bucket_high == bucket_low:
+            total += 1.0 if low <= bucket_low <= high else 0.0
+        else:
+            overlap = min(high, bucket_high) - max(low, bucket_low)
+            total += max(0.0, min(1.0, overlap / (bucket_high - bucket_low)))
+    return min(1.0, total / num_buckets)
