@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import pytest
 
 from repro.bench.harness import ExperimentResult
-from repro.bench.reporting import format_series, format_table
+from repro.bench.reporting import format_series, format_table, write_json
 from repro.imp.engine import IMPConfig
 from repro.imp.maintenance import FullMaintainer, IncrementalMaintainer
 from repro.sketch.selection import build_database_partition
@@ -130,6 +130,21 @@ def print_report(result: ExperimentResult, title: str, x_key: str, y_key: str = 
 def print_rows(result: ExperimentResult, title: str):
     print()
     print(format_table(result, title=title))
+
+
+def save_artifact(result: ExperimentResult, fig: str) -> str:
+    """Write the experiment as ``BENCH_<fig>.json`` and return the path.
+
+    The destination directory is ``BENCH_ARTIFACT_DIR`` (default: the current
+    working directory); CI sets it and uploads the JSON files so every
+    benchmark run leaves a machine-readable record next to the printed
+    tables.
+    """
+    directory = os.environ.get("BENCH_ARTIFACT_DIR", ".")
+    path = os.path.join(directory, f"BENCH_{fig}.json")
+    written = write_json(result, path)
+    print(f"\nwrote benchmark artifact {written}")
+    return written
 
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))

@@ -32,7 +32,7 @@ from repro.imp.engine import IMPConfig
 from repro.imp.middleware import IMPSystem
 from repro.storage.database import Database
 
-from benchmarks.conftest import median_rounds, print_rows
+from benchmarks.conftest import median_rounds, print_rows, save_artifact
 
 SMOKE = os.environ.get("FIG21_SMOKE") == "1"
 NUM_ROWS = 4000
@@ -154,6 +154,7 @@ def test_fig21_optimizer_counters_and_bit_identity(benchmark):
         index_scans=off_db.index_scan_count,
     )
     print_rows(RESULTS, "Fig. 21: backend scans under optimize_plans on/off")
+    save_artifact(RESULTS, "fig21")
 
     # The optimizer cuts index-scan misses: fewer full scans, more index scans.
     assert on_db.full_scan_count < off_db.full_scan_count

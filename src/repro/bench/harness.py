@@ -9,6 +9,8 @@ helpers here keep those files small and uniform.
 
 from __future__ import annotations
 
+import gc
+import json
 import statistics
 import time
 from collections.abc import Callable, Iterable, Sequence
@@ -28,14 +30,27 @@ def median(values: Iterable[float]) -> float:
 def time_callable(
     function: Callable[[], object], repeats: int = 3, warmup: int = 0
 ) -> float:
-    """Median wall-clock seconds of ``repeats`` executions of ``function``."""
+    """Median wall-clock seconds of ``repeats`` executions of ``function``.
+
+    The garbage collector is disabled while the timed samples run and
+    restored afterwards (also on exception), so an unlucky collection inside
+    a single sample cannot skew the median -- the main remaining source of
+    flaky timing-shape assertions.  Warmup runs are untimed and execute with
+    GC in its original state.
+    """
     for _ in range(warmup):
         function()
     samples = []
-    for _ in range(max(repeats, 1)):
-        started = time.perf_counter()
-        function()
-        samples.append(time.perf_counter() - started)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(repeats, 1)):
+            started = time.perf_counter()
+            function()
+            samples.append(time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return median(samples)
 
 
@@ -71,6 +86,16 @@ class ExperimentResult:
                 f"expected exactly one row for {criteria}, found {len(matched)}"
             )
         return matched[0][column]
+
+    def to_json(self, indent: int = 2) -> str:
+        """The experiment as a JSON document (name plus measurement rows).
+
+        This is the payload of the ``BENCH_<fig>.json`` artifacts the
+        benchmark suite uploads from CI; values without a native JSON form
+        are rendered through ``str``.
+        """
+        payload = {"experiment": self.name, "rows": self.rows}
+        return json.dumps(payload, indent=indent, default=str)
 
     def __len__(self) -> int:
         return len(self.rows)

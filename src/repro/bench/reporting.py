@@ -8,6 +8,7 @@ recorded in ``EXPERIMENTS.md``.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 
 from repro.bench.harness import ExperimentResult
@@ -16,6 +17,22 @@ from repro.bench.harness import ExperimentResult
 def speedup(slow: float, fast: float) -> float:
     """How many times faster ``fast`` is than ``slow``."""
     return slow / max(fast, 1e-12)
+
+
+def write_json(result: ExperimentResult, path: str) -> str:
+    """Write ``result`` as a JSON artifact to ``path``; returns the path.
+
+    Parent directories are created as needed.  The benchmark suite uses this
+    (via ``benchmarks/conftest.save_artifact``) to emit the machine-readable
+    ``BENCH_<fig>.json`` twins of the printed text tables.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_json())
+        handle.write("\n")
+    return path
 
 
 def format_table(

@@ -68,6 +68,15 @@ class IMPConfig:
         can be served from an ordered index.  Results are identical either
         way; ``False`` keeps the translator's literal plan shape for the
         unoptimized baseline in benchmarks and differential tests.
+    ``vectorize``
+        Execute backend query plans (instrumented or fallback) on the
+        vectorized columnar engine: operators with batch kernels run
+        column-at-a-time over :class:`~repro.relational.columnar.ColumnBatch`
+        data, falling back to the row engine per operator where no kernel
+        exists (e.g. TopK).  Results are bit-identical either way; ``False``
+        keeps the row-at-a-time engine for the baseline in benchmarks and
+        differential tests.  Sketch capture and incremental maintenance are
+        row-based regardless (annotated semantics tracks per-row provenance).
     """
 
     use_bloom_filters: bool = True
@@ -77,6 +86,7 @@ class IMPConfig:
     bloom_false_positive_rate: float = 0.01
     compile_expressions: bool = True
     optimize_plans: bool = True
+    vectorize: bool = True
 
     def describe(self) -> str:
         """Compact textual form used by the benchmark reports."""
@@ -85,7 +95,8 @@ class IMPConfig:
             f"pushdown={'on' if self.selection_pushdown else 'off'}, "
             f"minmax_buffer={self.min_max_buffer}, topk_buffer={self.topk_buffer}, "
             f"compile={'on' if self.compile_expressions else 'off'}, "
-            f"optimize={'on' if self.optimize_plans else 'off'}"
+            f"optimize={'on' if self.optimize_plans else 'off'}, "
+            f"vectorize={'on' if self.vectorize else 'off'}"
         )
 
 

@@ -127,13 +127,21 @@ class NoSketchSystem(WorkloadSystem):
 
     name = "no-sketch"
 
-    def __init__(self, database: Database, optimize_plans: bool = True) -> None:
+    def __init__(
+        self,
+        database: Database,
+        optimize_plans: bool = True,
+        vectorize: bool = True,
+    ) -> None:
         super().__init__(database)
         self.optimize_plans = optimize_plans
+        self.vectorize = vectorize
 
     def run_query(self, sql: str) -> Relation:
         started = time.perf_counter()
-        result = self.database.query(sql, optimize_plans=self.optimize_plans)
+        result = self.database.query(
+            sql, optimize_plans=self.optimize_plans, vectorize=self.vectorize
+        )
         self.statistics.queries += 1
         self.statistics.query_seconds += time.perf_counter() - started
         return result
@@ -152,12 +160,14 @@ class SketchBasedSystem(WorkloadSystem):
         store_max_bytes: int | None = None,
         compact_deltas: bool = True,
         optimize_plans: bool = True,
+        vectorize: bool = True,
     ) -> None:
         super().__init__(database)
         self.num_fragments = num_fragments
         self.partition_method = partition_method
         self.strategy = strategy or LazyStrategy()
         self.optimize_plans = optimize_plans
+        self.vectorize = vectorize
         # One optimizer per system: its cardinality estimator shares the
         # database's per-version statistics cache across queries.
         self._plan_optimizer = PlanOptimizer(database)
@@ -189,7 +199,11 @@ class SketchBasedSystem(WorkloadSystem):
                 # No safe sketch attribute or unsupported operator: answer the
                 # query without provenance-based data skipping.
                 self.statistics.fallback_queries += 1
-                result = self.database.query(plan, optimize_plans=self.optimize_plans)
+                result = self.database.query(
+                    plan,
+                    optimize_plans=self.optimize_plans,
+                    vectorize=self.vectorize,
+                )
                 return result
             self.statistics.sketch_hits += 1
             result = self._answer_with_sketch(entry)
@@ -262,7 +276,9 @@ class SketchBasedSystem(WorkloadSystem):
                 instrument_plan(entry.plan, sketch, optimizer=optimizer),
                 entry.valid_at_version,
             )
-        return self.database.query(entry.instrumented_plan, optimize_plans=False)
+        return self.database.query(
+            entry.instrumented_plan, optimize_plans=False, vectorize=self.vectorize
+        )
 
     # -- update path (eager maintenance hook) ----------------------------------------------------
 
@@ -324,6 +340,7 @@ class IMPSystem(SketchBasedSystem):
             store_max_bytes=store_max_bytes,
             compact_deltas=compact_deltas,
             optimize_plans=self.config.optimize_plans,
+            vectorize=self.config.vectorize,
         )
 
     def _make_maintainer(self, plan: PlanNode, partition) -> BaseMaintainer:

@@ -28,6 +28,7 @@ from repro.relational.algebra import (
     TopK,
     walk_plan,
 )
+from repro.relational.columnar import ColumnBatch
 from repro.relational.evaluator import Evaluator, RelationProvider
 from repro.relational.optimizer import CardinalityEstimator, PlanOptimizer, optimize_plan
 from repro.relational.expressions import (
@@ -52,6 +53,7 @@ __all__ = [
     "Between",
     "BinaryOp",
     "CardinalityEstimator",
+    "ColumnBatch",
     "ColumnRef",
     "Comparison",
     "CrossProduct",

@@ -1,0 +1,150 @@
+"""Columnar batches: the data representation of the vectorized engine.
+
+A :class:`ColumnBatch` holds the same bag of tuples as a
+:class:`~repro.relational.schema.Relation`, but pivoted: one Python list per
+attribute (parallel value columns) plus a parallel multiplicity list.  The
+vectorized operator kernels (:mod:`repro.relational.kernels`) and the
+batch-compiled expressions (``Expression.compile_batch``) run whole-column
+loops over this layout instead of dispatching per row, which is where the
+vectorized engine's constant-factor win over the row-at-a-time evaluator
+comes from.
+
+Batches are immutable by convention: kernels never mutate the column lists of
+an input batch, they build new lists (or share input lists unchanged, e.g. a
+projection of plain column references).  This is what allows
+:meth:`repro.storage.table.StoredTable.as_column_batch` to cache one pivoted
+batch per table version and hand the *same* object to every scan.
+
+Entries are ``(row, multiplicity)`` pairs exactly like ``Relation.items()``;
+a batch may carry duplicate rows (e.g. after a projection).  A batch whose
+entries are known to be distinct is flagged ``consolidated`` -- conversions
+and grouping kernels use the flag to skip the duplicate-merge pass.  The
+entry *order* of a batch mirrors the row engine's processing order, so
+consolidation reproduces the exact insertion order of the row engine's result
+relations; float aggregates therefore accumulate in the same order and stay
+bit-identical between the two engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.relational.schema import Relation, Row, Schema
+
+
+class ColumnBatch:
+    """A bag of tuples stored column-wise with a parallel multiplicity list."""
+
+    __slots__ = ("schema", "columns", "multiplicities", "consolidated")
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Iterable[list],
+        multiplicities: list[int],
+        consolidated: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.multiplicities = multiplicities
+        self.consolidated = consolidated
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "ColumnBatch":
+        """An empty batch over ``schema``."""
+        return cls(schema, ([] for _ in range(len(schema))), [], consolidated=True)
+
+    @classmethod
+    def from_items(
+        cls,
+        schema: Schema,
+        items: Iterable[tuple[Row, int]],
+        consolidated: bool = False,
+    ) -> "ColumnBatch":
+        """Pivot ``(row, multiplicity)`` pairs into a batch.
+
+        Pass ``consolidated=True`` only when the rows are known distinct
+        (e.g. items of a :class:`Relation` bag or an index range scan).
+        """
+        pairs = items if isinstance(items, list) else list(items)
+        if pairs:
+            rows, multiplicities = zip(*pairs)
+            columns: Iterable[list] = (list(column) for column in zip(*rows))
+            return cls(schema, columns, list(multiplicities), consolidated)
+        return cls(schema, ([] for _ in range(len(schema))), [], consolidated)
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "ColumnBatch":
+        """Pivot a relation (bag entries are distinct by construction)."""
+        return cls.from_items(relation.schema, relation.items(), consolidated=True)
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of entries (distinct only when ``consolidated``)."""
+        return len(self.multiplicities)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnBatch(schema={list(self.schema)}, entries={len(self)}, "
+            f"consolidated={self.consolidated})"
+        )
+
+    def row_tuples(self) -> list[Row]:
+        """The entries as row tuples, in entry order (one C-level pivot)."""
+        if not self.columns:
+            return [()] * len(self.multiplicities)
+        return list(zip(*self.columns))
+
+    # -- conversion ------------------------------------------------------------
+
+    def relabel(self, schema: Schema) -> "ColumnBatch":
+        """The same entries under a different schema (columns are shared).
+
+        Used by table scans to alias-qualify the cached per-table batch
+        without copying it; arities must match.
+        """
+        return ColumnBatch(schema, self.columns, self.multiplicities, self.consolidated)
+
+    def consolidate(self) -> "ColumnBatch":
+        """A batch with duplicate rows merged (multiplicities summed).
+
+        First-occurrence order is kept, which is exactly the insertion order
+        the row engine's ``Relation.add`` loop would produce for the same
+        entry sequence.
+        """
+        if self.consolidated:
+            return self
+        counts = self._merged_counts()
+        if counts:
+            columns: Iterable[list] = (list(column) for column in zip(*counts))
+        else:
+            columns = ([] for _ in range(len(self.schema)))
+        return ColumnBatch(self.schema, columns, list(counts.values()), consolidated=True)
+
+    def to_relation(self) -> Relation:
+        """The batch as a :class:`Relation` (the vectorized/row boundary)."""
+        if self.consolidated:
+            counts = dict(zip(self.row_tuples(), self.multiplicities))
+        else:
+            counts = self._merged_counts()
+        return Relation.from_counts(self.schema, counts)
+
+    def _merged_counts(self) -> dict[Row, int]:
+        """Entries merged into a ``row -> multiplicity`` mapping.
+
+        Fast path: build the dict in one C-level ``dict(zip(...))`` and only
+        fall back to the per-row merge loop when the length reveals duplicate
+        rows (whose multiplicities the zip would have overwritten).
+        """
+        rows = self.row_tuples()
+        multiplicities = self.multiplicities
+        counts = dict(zip(rows, multiplicities))
+        if len(counts) != len(rows):
+            counts = {}
+            get = counts.get
+            for row, multiplicity in zip(rows, multiplicities):
+                counts[row] = get(row, 0) + multiplicity
+        return counts

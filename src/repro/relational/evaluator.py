@@ -25,12 +25,15 @@ from repro.relational.algebra import (
     TableScan,
     TopK,
 )
+from repro.relational import kernels
+from repro.relational.columnar import ColumnBatch
 from repro.relational.expressions import (
     ColumnRef,
     Comparison,
     CompiledExpression,
     Expression,
     Literal,
+    compile_batch_expression,
     compile_expression,
     compile_row_expressions,
     conjuncts,
@@ -140,6 +143,20 @@ class Evaluator:
     default is off so a bare ``Evaluator`` stays the literal reference
     semantics used as the oracle in differential tests;
     :meth:`repro.storage.database.Database.evaluator` turns it on.
+
+    With ``vectorize=True`` plan subtrees built from the operators that have
+    columnar kernels (table scan, selection including the index-scan recheck
+    path, projection, equi hash join, distinct, grouped aggregation) are
+    executed column-at-a-time over :class:`ColumnBatch` data and converted to
+    a :class:`Relation` only at the subtree boundary.  Operators without a
+    kernel -- TopK (whose LIMIT tie-breaking depends on row encounter order),
+    cross products and non-equi theta joins -- run on the row engine, with
+    vectorized children converted at the boundary, so results are
+    bit-identical either way.  Vectorization implies compiled expressions;
+    with ``compile_expressions=False`` the flag is ignored and the
+    interpreted row engine runs.  Like ``optimize_plans`` the default is off
+    for the bare reference evaluator and on for
+    :meth:`repro.storage.database.Database.evaluator`.
     """
 
     def __init__(
@@ -147,11 +164,14 @@ class Evaluator:
         provider: RelationProvider,
         compile_expressions: bool = True,
         optimize_plans: bool = False,
+        vectorize: bool = False,
     ) -> None:
         self._provider = provider
         self._compile_expressions = compile_expressions
         self._optimize_plans = optimize_plans
+        self._vectorize = vectorize and compile_expressions
         self._optimizer = None
+        self._estimator = None
 
     def _compiled(self, expression: Expression, schema: Schema) -> CompiledExpression:
         return compile_expression(expression, schema, self._compile_expressions)
@@ -175,6 +195,13 @@ class Evaluator:
     # -- dispatch ----------------------------------------------------------------
 
     def _evaluate(self, node: PlanNode) -> Relation:
+        if self._vectorize:
+            batch = self._batch(node)
+            if batch is not None:
+                return batch.to_relation()
+        return self._row_evaluate(node)
+
+    def _row_evaluate(self, node: PlanNode) -> Relation:
         if isinstance(node, TableScan):
             return self._table_scan(node)
         if isinstance(node, Selection):
@@ -190,6 +217,146 @@ class Evaluator:
         if isinstance(node, TopK):
             return self._top_k(node)
         raise PlanError(f"evaluator does not support plan node {type(node).__name__}")
+
+    # -- vectorized pipeline -----------------------------------------------------
+
+    def _batch(self, node: PlanNode) -> ColumnBatch | None:
+        """Evaluate ``node`` column-at-a-time, or None when it has no kernel.
+
+        Returning None falls back to the row engine *for this node only*: the
+        row operators evaluate their children through :meth:`_evaluate`, so
+        supported subtrees underneath still run vectorized and convert at the
+        boundary.
+        """
+        if isinstance(node, TableScan):
+            return self._scan_batch(node)
+        if isinstance(node, Selection):
+            return self._selection_batch(node)
+        if isinstance(node, Projection):
+            return self._projection_batch(node)
+        if isinstance(node, Join):
+            return self._join_batch(node)
+        if isinstance(node, Aggregation):
+            return self._aggregation_batch(node)
+        if isinstance(node, Distinct):
+            return kernels.distinct_batch(self._input_batch(node.child))
+        # TopK stays row-based: its LIMIT tie-breaking depends on the row
+        # engine's encounter order.  Unknown nodes fall back too (and the row
+        # dispatch raises the PlanError).
+        return None
+
+    def _input_batch(self, node: PlanNode) -> ColumnBatch:
+        """Child input of a vectorized operator, converting at the boundary."""
+        batch = self._batch(node)
+        if batch is not None:
+            return batch
+        return ColumnBatch.from_relation(self._row_evaluate(node))
+
+    def _predicate_values(self, expression: Expression, batch: ColumnBatch) -> list:
+        return compile_batch_expression(expression, batch.schema)(
+            batch.columns, len(batch)
+        )
+
+    def _scan_batch(self, node: TableScan) -> ColumnBatch:
+        provider = self._provider
+        if hasattr(provider, "column_batch"):
+            # The provider's batch is cached per table version and shared
+            # between scans; relabel() aliases the schema without copying.
+            base = provider.column_batch(node.table)
+        else:
+            base = ColumnBatch.from_relation(provider.relation(node.table))
+        return base.relabel(base.schema.qualify(node.alias))
+
+    def _selection_batch(self, node: Selection) -> ColumnBatch:
+        if isinstance(node.predicate, Literal):
+            if node.predicate.value is True:
+                return self._input_batch(node.child)
+            return ColumnBatch.empty(node.child.output_schema(self._provider))
+        indexed = self._index_scan_batch(node)
+        if indexed is not None:
+            return indexed
+        child = self._input_batch(node.child)
+        return kernels.filter_batch(
+            child,
+            self._predicate_values(node.predicate, child),
+            kernels.strict_boolean(node.predicate),
+        )
+
+    def _index_scan_batch(self, node: Selection) -> ColumnBatch | None:
+        choice = self._index_choice(node)
+        if choice is None:
+            return None
+        schema, attribute, intervals = choice
+        fetched = ColumnBatch.from_items(
+            schema,
+            self._provider.index_scan(node.child.table, attribute, intervals),
+            consolidated=True,
+        )
+        # Re-check the full predicate on the fetched rows, so that
+        # over-approximated index bounds stay sound (same as the row path).
+        return kernels.filter_batch(
+            fetched,
+            self._predicate_values(node.predicate, fetched),
+            kernels.strict_boolean(node.predicate),
+        )
+
+    def _projection_batch(self, node: Projection) -> ColumnBatch:
+        child = self._input_batch(node.child)
+        n = len(child)
+        value_columns = [
+            compile_batch_expression(item.expression, child.schema)(child.columns, n)
+            for item in node.items
+        ]
+        return kernels.project_batch(
+            child, Schema(item.alias for item in node.items), value_columns
+        )
+
+    def _join_batch(self, node: Join) -> ColumnBatch | None:
+        # Decide hash-joinability from the static schemas *before* touching
+        # the children, so a fallback does not evaluate them twice.
+        left_schema = node.left.output_schema(self._provider)
+        right_schema = node.right.output_schema(self._provider)
+        pairs = self._equi_pairs(node.condition, left_schema, right_schema)
+        if not pairs:
+            return None
+        left = self._input_batch(node.left)
+        right = self._input_batch(node.right)
+        combined = kernels.hash_join_batch(left, right, pairs)
+        # The full condition is re-checked on every matching pair, exactly
+        # like the row hash join (this also rejects NULL key matches).
+        assert node.condition is not None
+        return kernels.filter_batch(
+            combined,
+            self._predicate_values(node.condition, combined),
+            kernels.strict_boolean(node.condition),
+        )
+
+    def _aggregation_batch(self, node: Aggregation) -> ColumnBatch:
+        # Consolidating first reproduces the row engine's child relation --
+        # same distinct entries, same order -- so per-group float
+        # accumulation is bit-identical.
+        child = self._input_batch(node.child).consolidate()
+        n = len(child)
+        key_columns = [
+            compile_batch_expression(expression, child.schema)(child.columns, n)
+            for expression in node.group_by
+        ]
+        argument_columns = [
+            None
+            if aggregate.argument is None
+            else compile_batch_expression(aggregate.argument, child.schema)(
+                child.columns, n
+            )
+            for aggregate in node.aggregates
+        ]
+        return kernels.aggregate_batch(
+            node.output_schema(self._provider),
+            node.aggregates,
+            key_columns,
+            argument_columns,
+            child.multiplicities,
+            grouped=bool(node.group_by),
+        )
 
     # -- operators ---------------------------------------------------------------
 
@@ -231,6 +398,32 @@ class Evaluator:
         fetched instead of scanning the whole table.  The full predicate is
         re-checked on the fetched rows, so over-approximated bounds stay sound.
         """
+        choice = self._index_choice(node)
+        if choice is None:
+            return None
+        schema, attribute, intervals = choice
+        result = Relation(schema)
+        predicate = self._compiled(node.predicate, schema)
+        for row, multiplicity in self._provider.index_scan(
+            node.child.table, attribute, intervals
+        ):
+            if predicate(row) is True:
+                result.add(row, multiplicity)
+        return result
+
+    def _index_choice(
+        self, node: Selection
+    ) -> tuple[Schema, str, list] | None:
+        """Pick the index to serve a selection-over-scan from, or None.
+
+        Every indexed attribute for which the predicate yields selective
+        intervals is a candidate; when there are several, they are ranked by
+        the cardinality estimator's interval selectivity (fraction of rows
+        inside the intervals, from the equi-depth histogram) and the most
+        selective one wins, so e.g. a narrow range on one attribute beats a
+        near-full range on another.  Ties keep the provider's (alphabetical)
+        attribute order.  Shared by the row and vectorized selection paths.
+        """
         child = node.child
         if not isinstance(child, TableScan):
             return None
@@ -239,18 +432,30 @@ class Evaluator:
             return None
         from repro.relational.predicates import extract_intervals, intervals_are_selective
 
-        schema = provider.schema_of(child.table).qualify(child.alias)
+        candidates: list[tuple[str, list]] = []
         for attribute in provider.indexed_attributes(child.table):
             intervals = extract_intervals(node.predicate, attribute)
-            if not intervals_are_selective(intervals):
-                continue
-            result = Relation(schema)
-            predicate = self._compiled(node.predicate, schema)
-            for row, multiplicity in provider.index_scan(child.table, attribute, intervals):
-                if predicate(row) is True:
-                    result.add(row, multiplicity)
-            return result
-        return None
+            if intervals_are_selective(intervals):
+                candidates.append((attribute, intervals))
+        if not candidates:
+            return None
+        if len(candidates) > 1:
+            estimator = self._cardinality_estimator()
+            candidates.sort(
+                key=lambda candidate: estimator.intervals_selectivity(
+                    child.table, candidate[0], candidate[1]
+                )
+            )
+        attribute, intervals = candidates[0]
+        schema = provider.schema_of(child.table).qualify(child.alias)
+        return schema, attribute, intervals
+
+    def _cardinality_estimator(self):
+        if self._estimator is None:
+            from repro.relational.optimizer import CardinalityEstimator
+
+            self._estimator = CardinalityEstimator(self._provider)
+        return self._estimator
 
     def _projection(self, node: Projection) -> Relation:
         child = self._evaluate(node.child)

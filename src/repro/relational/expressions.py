@@ -36,6 +36,16 @@ from repro.relational.schema import Row, Schema
 CompiledExpression = Callable[[Row], Any]
 """A schema-specialised evaluator: maps a row to the expression's value."""
 
+CompiledBatchExpression = Callable[[Sequence[list], int], list]
+"""A schema-specialised *columnar* evaluator.
+
+Called as ``fn(columns, n)`` where ``columns`` are the parallel value lists
+of a :class:`~repro.relational.columnar.ColumnBatch` (schema order) and ``n``
+is the entry count; returns the expression's value column (length ``n``).
+The returned list may be one of the input columns (e.g. for a plain column
+reference) -- callers must treat both as read-only.
+"""
+
 
 class Expression:
     """Base class for scalar expressions."""
@@ -65,6 +75,41 @@ class Expression:
     def _compile(self, schema: Schema) -> CompiledExpression:
         """Node-specific compilation (no constant folding)."""
         raise NotImplementedError
+
+    def compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        """Specialise the expression for column-at-a-time evaluation.
+
+        The returned closure maps a batch's columns to the value column of
+        this expression, element-for-element identical to calling the
+        compiled row form on every row.  Constant subexpressions are folded
+        exactly as in :meth:`compile` (evaluated once unless evaluation
+        raises, in which case the error keeps surfacing per element).
+        """
+        if not self.columns() and not self.contains_aggregate():
+            fn = self.compile(schema)
+            try:
+                value = fn(())
+            except Exception:
+                pass
+            else:
+                return lambda columns, n: [value] * n
+        return self._compile_batch(schema)
+
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        """Node-specific batch compilation.
+
+        The default pivots the columns back into row tuples and maps the
+        compiled row form over them -- correct for every node, overridden
+        with hoisted whole-column loops for the hot node types.
+        """
+        fn = self.compile(schema)
+
+        def run(columns: Sequence[list], n: int) -> list:
+            if not columns:
+                return [fn(()) for _ in range(n)]
+            return [fn(row) for row in zip(*columns)]
+
+        return run
 
     def columns(self) -> set[str]:
         """Attribute names referenced by the expression."""
@@ -108,6 +153,11 @@ class ColumnRef(Expression):
     def _compile(self, schema: Schema) -> CompiledExpression:
         return operator.itemgetter(schema.index_of(self.name))
 
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        index = schema.index_of(self.name)
+        # The input column *is* the value column (shared, read-only).
+        return lambda columns, n: columns[index]
+
     def columns(self) -> set[str]:
         return {self.name}
 
@@ -132,6 +182,10 @@ class Literal(Expression):
     def _compile(self, schema: Schema) -> CompiledExpression:
         value = self.value
         return lambda row: value
+
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        value = self.value
+        return lambda columns, n: [value] * n
 
     def columns(self) -> set[str]:
         return set()
@@ -189,6 +243,19 @@ class BinaryOp(Expression):
 
         return run
 
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        left = self.left.compile_batch(schema)
+        right = self.right.compile_batch(schema)
+        operation = _ARITHMETIC[self.op]
+
+        def run(columns: Sequence[list], n: int) -> list:
+            return [
+                None if a is None or b is None else operation(a, b)
+                for a, b in zip(left(columns, n), right(columns, n))
+            ]
+
+        return run
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -223,6 +290,14 @@ class UnaryMinus(Expression):
         def run(row: Row) -> Any:
             value = operand(row)
             return None if value is None else -value
+
+        return run
+
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        operand = self.operand.compile_batch(schema)
+
+        def run(columns: Sequence[list], n: int) -> list:
+            return [None if value is None else -value for value in operand(columns, n)]
 
         return run
 
@@ -298,6 +373,34 @@ class Comparison(Expression):
 
         return run
 
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        operation = _COMPARISONS[self.op]
+        # Same fast path as the row compile: ``column <op> constant`` becomes
+        # one hoisted comprehension over the value column.
+        if isinstance(self.left, ColumnRef) and isinstance(self.right, Literal):
+            index = schema.index_of(self.left.name)
+            constant = self.right.value
+            if constant is None:
+                return lambda columns, n: [None] * n
+
+            def fast(columns: Sequence[list], n: int) -> list:
+                return [
+                    None if value is None else bool(operation(value, constant))
+                    for value in columns[index]
+                ]
+
+            return fast
+        left = self.left.compile_batch(schema)
+        right = self.right.compile_batch(schema)
+
+        def run_batch(columns: Sequence[list], n: int) -> list:
+            return [
+                None if a is None or b is None else bool(operation(a, b))
+                for a, b in zip(left(columns, n), right(columns, n))
+            ]
+
+        return run_batch
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -348,6 +451,36 @@ class Between(Expression):
 
         return run
 
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        operand = self.operand.compile_batch(schema)
+        # Dominant shape: constant bounds (the use rewrite's BETWEEN
+        # disjunctions) hoist into a single chained comparison per value.
+        if isinstance(self.low, Literal) and isinstance(self.high, Literal):
+            lo = self.low.value
+            hi = self.high.value
+            if lo is None or hi is None:
+                return lambda columns, n: [None] * n
+
+            def fast(columns: Sequence[list], n: int) -> list:
+                return [
+                    None if value is None else lo <= value <= hi
+                    for value in operand(columns, n)
+                ]
+
+            return fast
+        low = self.low.compile_batch(schema)
+        high = self.high.compile_batch(schema)
+
+        def run_batch(columns: Sequence[list], n: int) -> list:
+            return [
+                None if value is None or lo is None or hi is None else lo <= value <= hi
+                for value, lo, hi in zip(
+                    operand(columns, n), low(columns, n), high(columns, n)
+                )
+            ]
+
+        return run_batch
+
     def columns(self) -> set[str]:
         return self.operand.columns() | self.low.columns() | self.high.columns()
 
@@ -389,6 +522,14 @@ class IsNull(Expression):
         if self.negated:
             return lambda row: operand(row) is not None
         return lambda row: operand(row) is None
+
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        operand = self.operand.compile_batch(schema)
+        if self.negated:
+            return lambda columns, n: [
+                value is not None for value in operand(columns, n)
+            ]
+        return lambda columns, n: [value is None for value in operand(columns, n)]
 
     def columns(self) -> set[str]:
         return self.operand.columns()
@@ -469,6 +610,46 @@ class LogicalOp(Expression):
 
         return run_or
 
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        # Like the row form, every operand column is fully evaluated (no
+        # short-circuit) so a later operand that raises still raises.  The
+        # merge classifies operand values exactly as the row loops do:
+        # literal False / None are tracked, anything else counts as true.
+        compiled = [operand.compile_batch(schema) for operand in self.operands]
+        first = compiled[0]
+        rest = compiled[1:]
+        if self.op == "AND":
+
+            def run_and(columns: Sequence[list], n: int) -> list:
+                result = [
+                    False if value is False else None if value is None else True
+                    for value in first(columns, n)
+                ]
+                for fn in rest:
+                    for i, value in enumerate(fn(columns, n)):
+                        if value is False:
+                            result[i] = False
+                        elif value is None and result[i] is True:
+                            result[i] = None
+                return result
+
+            return run_and
+
+        def run_or(columns: Sequence[list], n: int) -> list:
+            result = [
+                True if value is True else None if value is None else False
+                for value in first(columns, n)
+            ]
+            for fn in rest:
+                for i, value in enumerate(fn(columns, n)):
+                    if value is True:
+                        result[i] = True
+                    elif value is None and result[i] is False:
+                        result[i] = None
+            return result
+
+        return run_or
+
     def columns(self) -> set[str]:
         result: set[str] = set()
         for operand in self.operands:
@@ -508,6 +689,16 @@ class Not(Expression):
             if value is None:
                 return None
             return not value
+
+        return run
+
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        operand = self.operand.compile_batch(schema)
+
+        def run(columns: Sequence[list], n: int) -> list:
+            return [
+                None if value is None else not value for value in operand(columns, n)
+            ]
 
         return run
 
@@ -594,6 +785,22 @@ class FunctionCall(Expression):
         compiled = [arg.compile(schema) for arg in self.args]
         return lambda row: handler([fn(row) for fn in compiled])
 
+    def _compile_batch(self, schema: Schema) -> CompiledBatchExpression:
+        handler = _SCALAR_FUNCTIONS.get(self.name)
+        if self.is_aggregate or handler is None:
+            # Keep raising per element via the generic row fallback, matching
+            # the interpreted and row-compiled semantics.
+            return super()._compile_batch(schema)
+        compiled = [arg.compile_batch(schema) for arg in self.args]
+
+        def run(columns: Sequence[list], n: int) -> list:
+            argument_columns = [fn(columns, n) for fn in compiled]
+            if not argument_columns:
+                return [handler([]) for _ in range(n)]
+            return [handler(values) for values in zip(*argument_columns)]
+
+        return run
+
     def columns(self) -> set[str]:
         result: set[str] = set()
         for arg in self.args:
@@ -613,7 +820,7 @@ class FunctionCall(Expression):
         return self.is_aggregate or any(arg.contains_aggregate() for arg in self.args)
 
 
-_COMPILE_CACHE: dict[tuple[str, Schema], CompiledExpression] = {}
+_COMPILE_CACHE: dict[tuple[str, Schema, str], Callable] = {}
 _COMPILE_CACHE_LIMIT = 4096
 
 
@@ -622,21 +829,43 @@ def compile_expression(
 ) -> CompiledExpression:
     """Compiled form of ``expression`` under ``schema``, cached.
 
-    Compiled closures depend only on the expression structure and the schema,
-    so they are shared across plan nodes and maintenance rounds via a process-
-    wide cache keyed on ``(canonical form, schema)``.  With ``enabled=False``
-    the interpreted ``evaluate`` is wrapped instead -- same call shape, no
-    specialisation -- which is how the engine's compilation toggle and the
-    interpreted-vs-compiled benchmarks are implemented.
+    Compiled closures depend only on the expression structure, the schema and
+    the compilation mode, so they are shared across plan nodes and
+    maintenance rounds via a process-wide cache keyed on ``(canonical form,
+    schema, mode)`` -- row-compiled and batch-compiled forms of the same
+    expression coexist.  With ``enabled=False`` the interpreted ``evaluate``
+    is wrapped instead -- same call shape, no specialisation -- which is how
+    the engine's compilation toggle and the interpreted-vs-compiled
+    benchmarks are implemented.
     """
     if not enabled:
         return lambda row: expression.evaluate(row, schema)
-    key = (expression.canonical(), schema)
+    key = (expression.canonical(), schema, "row")
     compiled = _COMPILE_CACHE.get(key)
     if compiled is None:
         if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
             _COMPILE_CACHE.clear()
         compiled = expression.compile(schema)
+        _COMPILE_CACHE[key] = compiled
+    return compiled
+
+
+def compile_batch_expression(
+    expression: Expression, schema: Schema
+) -> CompiledBatchExpression:
+    """Batch-compiled form of ``expression`` under ``schema``, cached.
+
+    The columnar twin of :func:`compile_expression`, sharing its cache under
+    the ``"batch"`` mode key.  There is no ``enabled`` toggle: the vectorized
+    engine only runs with compilation on (the interpreted baseline is
+    row-at-a-time by definition).
+    """
+    key = (expression.canonical(), schema, "batch")
+    compiled = _COMPILE_CACHE.get(key)
+    if compiled is None:
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+            _COMPILE_CACHE.clear()
+        compiled = expression.compile_batch(schema)
         _COMPILE_CACHE[key] = compiled
     return compiled
 

@@ -236,6 +236,26 @@ class CardinalityEstimator:
         largest = max(left_distinct, right_distinct, 1.0)
         return 1.0 / largest
 
+    def intervals_selectivity(self, table: str, attribute: str, intervals) -> float:
+        """Estimated fraction of ``table`` rows with ``attribute`` in ``intervals``.
+
+        Used by the evaluator to rank candidate indexes for a selection:
+        lower is more selective.  ``None`` intervals (no usable bound) rate
+        1.0, an empty interval list 0.0; without histogram statistics the
+        default predicate selectivity applies, like every other estimate.
+        """
+        if intervals is None:
+            return 1.0
+        if not intervals:
+            return 0.0
+        try:
+            fraction = self._intervals_fraction(table, attribute, intervals)
+        except Exception:
+            fraction = None
+        if fraction is None:
+            return _DEFAULT_PREDICATE_SELECTIVITY
+        return min(1.0, max(fraction, _MIN_SELECTIVITY))
+
     # -- node estimates ----------------------------------------------------------------
 
     def _estimate(self, node: PlanNode) -> float:

@@ -146,6 +146,19 @@ class Relation:
         """An empty relation over ``schema``."""
         return cls(schema)
 
+    @classmethod
+    def from_counts(cls, schema: Schema, counts: dict) -> "Relation":
+        """Adopt an already-merged ``row -> multiplicity`` mapping.
+
+        Internal fast path for the columnar engine's batch-to-relation
+        boundary: the caller guarantees rows are tuples of the schema's arity
+        with positive multiplicities, so the per-row checks of :meth:`add`
+        are skipped and the mapping is taken over without copying.
+        """
+        relation = cls(schema)
+        relation._rows = counts
+        return relation
+
     def copy(self) -> "Relation":
         """Return an independent copy."""
         clone = Relation(self.schema)
@@ -164,7 +177,10 @@ class Relation:
             raise ValueError("multiplicity must be non-negative")
         if multiplicity == 0:
             return
-        row = tuple(row)
+        # Every operator loop funnels through here; rows are almost always
+        # tuples already, so skip the (identity) conversion for them.
+        if type(row) is not tuple:
+            row = tuple(row)
         self._rows[row] = self._rows.get(row, 0) + multiplicity
 
     def remove(self, row: Row, multiplicity: int = 1) -> int:

@@ -97,6 +97,18 @@ class Database:
         self._scan_counter += 1
         return self.table(table).as_relation()
 
+    def column_batch(self, table: str):
+        """The current contents of ``table`` as a shared columnar batch.
+
+        Serves the vectorized evaluator's table scans; cached per version in
+        the stored table so repeated scans do not re-pivot rows.  Counts as a
+        full scan exactly like :meth:`relation` (it reads the whole table),
+        keeping the scan-count instrumentation comparable between the row and
+        vectorized engines.  The batch is shared and must not be mutated.
+        """
+        self._scan_counter += 1
+        return self.table(table).as_column_batch()
+
     def schema_of(self, table: str) -> Schema:
         """The schema of ``table``."""
         return self.table(table).schema
@@ -302,14 +314,16 @@ class Database:
 
     # -- query evaluation -----------------------------------------------------------------
 
-    def evaluator(self, optimize_plans: bool = True) -> Evaluator:
+    def evaluator(self, optimize_plans: bool = True, vectorize: bool = True) -> Evaluator:
         """An evaluator bound to this database.
 
         Plans are optimized by default (predicate pushdown to the scans, join
-        reordering, projection pruning); ``optimize_plans=False`` keeps the
-        literal plan shape for differential testing.
+        reordering, projection pruning) and executed on the vectorized
+        columnar engine where kernels exist; ``optimize_plans=False`` keeps
+        the literal plan shape and ``vectorize=False`` the row-at-a-time
+        engine, both for differential testing.
         """
-        return Evaluator(self, optimize_plans=optimize_plans)
+        return Evaluator(self, optimize_plans=optimize_plans, vectorize=vectorize)
 
     def translator(self) -> Translator:
         """A SQL-to-algebra translator bound to this database's catalog."""
@@ -324,7 +338,10 @@ class Database:
         return self.translator().translate_sql(sql, optimize=optimize)
 
     def query(
-        self, query: str | PlanNode | SelectStatement, optimize_plans: bool = True
+        self,
+        query: str | PlanNode | SelectStatement,
+        optimize_plans: bool = True,
+        vectorize: bool = True,
     ) -> Relation:
         """Evaluate a SQL string, parsed statement, or logical plan."""
         if isinstance(query, str):
@@ -333,7 +350,9 @@ class Database:
             plan = self.translator().translate(query)
         else:
             plan = query
-        return self.evaluator(optimize_plans=optimize_plans).evaluate(plan)
+        return self.evaluator(
+            optimize_plans=optimize_plans, vectorize=vectorize
+        ).evaluate(plan)
 
     def execute(self, sql: str) -> Relation | int:
         """Execute any supported statement.

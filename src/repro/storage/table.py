@@ -12,6 +12,7 @@ import bisect
 from collections.abc import Callable, Iterable, Iterator
 
 from repro.core.errors import SchemaError, StorageError
+from repro.relational.columnar import ColumnBatch
 from repro.relational.predicates import Interval
 from repro.relational.schema import Relation, Row, Schema
 from repro.storage.delta import Delta
@@ -131,6 +132,7 @@ class StoredTable:
         self._key_index: dict[object, Row] = {}
         self._indexes: dict[str, AttributeIndex] = {}
         self._row_count = 0
+        self._column_cache: ColumnBatch | None = None
 
     # -- inspection --------------------------------------------------------------
 
@@ -161,6 +163,23 @@ class StoredTable:
     def as_relation(self) -> Relation:
         """The table contents as a relation (a copy; safe to mutate)."""
         return Relation(self.schema, dict(self._rows))
+
+    def as_column_batch(self) -> ColumnBatch:
+        """The table contents pivoted into a columnar batch, cached.
+
+        The pivot is cached until the next mutation -- i.e. per database
+        version, since table contents only change through commits -- so
+        repeated vectorized scans do not re-pivot the rows.  The returned
+        batch is *shared*: callers must treat it as read-only (the vectorized
+        kernels never mutate input batches; relabel it to change the schema).
+        """
+        cached = self._column_cache
+        if cached is None:
+            cached = ColumnBatch.from_items(
+                self.schema, self._rows.items(), consolidated=True
+            )
+            self._column_cache = cached
+        return cached
 
     def column_values(self, attribute: str) -> list[object]:
         """All values of ``attribute`` (duplicates included, NULLs skipped)."""
@@ -257,6 +276,7 @@ class StoredTable:
             self._key_index[key] = row
         self._rows[row] = self._rows.get(row, 0) + multiplicity
         self._row_count += multiplicity
+        self._column_cache = None
         for index in self._indexes.values():
             index.insert(row, multiplicity)
 
@@ -287,6 +307,7 @@ class StoredTable:
         for index in self._indexes.values():
             index.delete(row, removed)
         self._row_count -= removed
+        self._column_cache = None
         return removed
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> list[Row]:
@@ -319,6 +340,7 @@ class StoredTable:
         self._rows.clear()
         self._key_index.clear()
         self._row_count = 0
+        self._column_cache = None
         for attribute in list(self._indexes):
             self._indexes[attribute] = AttributeIndex(
                 attribute, self.schema.index_of(attribute)

@@ -1,9 +1,12 @@
 """Tests for the benchmark harness and reporting helpers."""
 
+import gc
+import json
+
 import pytest
 
 from repro.bench.harness import ExperimentResult, compare_systems, median, time_callable
-from repro.bench.reporting import format_series, format_table, speedup
+from repro.bench.reporting import format_series, format_table, speedup, write_json
 
 
 class TestHarness:
@@ -18,6 +21,38 @@ class TestHarness:
         seconds = time_callable(lambda: calls.append(1), repeats=3, warmup=1)
         assert seconds >= 0
         assert len(calls) == 4
+
+    def test_time_callable_disables_gc_during_samples(self):
+        assert gc.isenabled()
+        states = []
+        time_callable(lambda: states.append(gc.isenabled()), repeats=2, warmup=1)
+        # Warmup runs with GC untouched; timed samples run with it disabled.
+        assert states == [True, False, False]
+        assert gc.isenabled()
+
+    def test_time_callable_restores_gc_on_exception(self):
+        assert gc.isenabled()
+        states = []
+
+        def boom():
+            states.append(gc.isenabled())
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            time_callable(boom, repeats=3)
+        assert states == [False]  # it raised inside the first timed sample
+        assert gc.isenabled()  # ... and GC came back on anyway
+
+    def test_time_callable_leaves_gc_disabled_when_it_was(self):
+        gc.disable()
+        try:
+            time_callable(lambda: None, repeats=1)
+            assert not gc.isenabled()
+            with pytest.raises(RuntimeError):
+                time_callable(_raise, repeats=1)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
 
     def test_experiment_result_accessors(self):
         result = ExperimentResult("demo")
@@ -80,3 +115,25 @@ class TestReporting:
         empty = ExperimentResult("empty")
         assert "<no data>" in format_table(empty)
         assert "<no data>" in format_series(empty, "x", "y")
+
+    def test_to_json_roundtrips_rows(self):
+        result = ExperimentResult("demo")
+        result.add(system="imp", seconds=0.25, note=None)
+        result.add(system="fm", seconds=1.5, extra=object())  # stringified
+        payload = json.loads(result.to_json())
+        assert payload["experiment"] == "demo"
+        assert payload["rows"][0] == {"system": "imp", "seconds": 0.25, "note": None}
+        assert isinstance(payload["rows"][1]["extra"], str)
+
+    def test_write_json_creates_directories(self, tmp_path):
+        result = ExperimentResult("demo")
+        result.add(system="imp", seconds=0.25)
+        path = tmp_path / "artifacts" / "BENCH_demo.json"
+        written = write_json(result, str(path))
+        assert written == str(path)
+        payload = json.loads(path.read_text())
+        assert payload["rows"] == [{"system": "imp", "seconds": 0.25}]
+
+
+def _raise():
+    raise RuntimeError("boom")
