@@ -6,6 +6,8 @@ Python code::
     python -m repro demo                      # the paper's running example
     python -m repro compare --rows 5000 ...   # IMP vs FM vs NS on a mixed workload
     python -m repro maintain --query groups   # per-delta maintenance cost, IMP vs FM
+    python -m repro serve                     # multi-session snapshot-isolation REPL
+    python -m repro serve --demo              # concurrent readers + writer driver
     python -m repro info                      # library / subsystem overview
 
 Every command prints a small, self-describing report to stdout and returns a
@@ -74,6 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
     maintain.add_argument(
         "--no-pushdown", action="store_true", help="disable delta selection push-down"
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve concurrent snapshot-isolated sessions (REPL or --demo driver)",
+    )
+    serve.add_argument("--rows", type=int, default=2_000, help="synthetic table size")
+    serve.add_argument("--groups", type=int, default=100, help="number of groups")
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the scripted concurrency demo (readers + writer + maintenance)",
+    )
+    serve.add_argument("--readers", type=int, default=4, help="demo reader threads")
+    serve.add_argument("--commits", type=int, default=10, help="demo writer commits")
+    serve.add_argument("--delta", type=int, default=25, help="demo tuples per commit")
 
     subparsers.add_parser("info", help="print library and subsystem overview")
     return parser
@@ -211,6 +228,158 @@ def command_maintain(args: argparse.Namespace) -> int:
     return 0
 
 
+_SERVE_HELP = """\
+session REPL commands:
+  .open              open a new session pinned at the current version
+  .use <id>          switch the current session
+  .close [<id>]      close a session (default: the current one)
+  .sessions          list open sessions and their pinned versions
+  .refresh           re-pin the current session at the latest version
+  .commit <n>        commit <n> synthetic rows to table r (a concurrent write)
+  .version           print the current database version
+  .help              this text
+  .quit              exit
+anything else is run as SQL in the current session (table: r(id, a, b, c))\
+"""
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    """Serve concurrent snapshot-isolated sessions over a synthetic table."""
+    database = Database("serve")
+    table = load_synthetic(
+        database, num_rows=args.rows, num_groups=args.groups, seed=23
+    )
+    if args.demo:
+        return _serve_demo(database, table, args)
+    return _serve_repl(database, table)
+
+
+def _serve_repl(database: Database, table) -> int:
+    """A line-oriented REPL: each session reads its pinned snapshot while
+    ``.commit`` advances the database underneath -- the canonical way to watch
+    snapshot isolation at work from a terminal (also drivable by piped input).
+    """
+    sessions: dict[int, object] = {}
+    current: object | None = None
+    interactive = sys.stdin.isatty()
+    print(f"repro serve: table r with {len(table)} rows at version {database.version}")
+    print("type .help for commands" if interactive else _SERVE_HELP)
+    while True:
+        if interactive:
+            print(f"repro[{getattr(current, 'id', '-')}]> ", end="", flush=True)
+        line = sys.stdin.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            if line == ".quit":
+                break
+            elif line == ".help":
+                print(_SERVE_HELP)
+            elif line == ".open":
+                current = database.connect()
+                sessions[current.id] = current
+                print(f"opened session {current.id} pinned at version {current.pinned_version}")
+            elif line.startswith(".use "):
+                current = sessions[int(line.split()[1])]
+                print(f"using session {current.id} (version {current.pinned_version})")
+            elif line.split()[0] == ".close":
+                parts = line.split()
+                victim = sessions[int(parts[1])] if len(parts) > 1 else current
+                if victim is None:
+                    print("no session to close")
+                    continue
+                victim.close()
+                sessions.pop(victim.id, None)
+                if current is victim:
+                    current = None
+                print(f"closed session {victim.id}")
+            elif line == ".sessions":
+                for session in sessions.values():
+                    marker = "*" if session is current else " "
+                    print(f" {marker} session {session.id}: pinned at version {session.pinned_version}")
+                print(f"registry: {database.session_registry.summary()}")
+            elif line == ".refresh":
+                if current is None:
+                    print("no open session; .open first")
+                    continue
+                print(f"session {current.id} now at version {current.refresh()}")
+            elif line.split()[0] == ".commit":
+                parts = line.split()
+                count = int(parts[1]) if len(parts) > 1 else 10
+                version = database.insert("r", table.make_inserts(count))
+                print(f"committed {count} rows; database now at version {version}")
+            elif line == ".version":
+                print(f"database version {database.version}")
+            elif line.startswith("."):
+                print(f"unknown command {line.split()[0]!r}; try .help")
+            elif current is None:
+                print("no open session; .open first (or .help)")
+            else:
+                result = current.query(line)
+                for row in result.to_sorted_list()[:20]:
+                    print("  ", row)
+                print(f"({len(result)} rows, snapshot version {current.pinned_version})")
+        except Exception as exc:  # noqa: BLE001 - REPL surfaces, never dies
+            print(f"error: {exc}")
+    for session in sessions.values():
+        session.close()
+    return 0
+
+
+def _serve_demo(database: Database, table, args: argparse.Namespace) -> int:
+    """Scripted concurrency demo: N snapshot readers + a writer + background
+    sketch maintenance, ending with a consistency report."""
+    import threading
+
+    sql = "SELECT a, SUM(c) AS total FROM r GROUP BY a HAVING SUM(c) > 500"
+    system = IMPSystem(database, num_fragments=32)
+    system.run_query(sql)  # capture the sketch before the threads start
+    system.start_background_maintenance(interval=0.005)
+
+    stop = threading.Event()
+    counts = [0] * args.readers
+    stable = [True] * args.readers
+    errors: list[str] = []
+
+    def reader(slot: int) -> None:
+        try:
+            with database.connect() as session:
+                baseline = session.query(sql).to_sorted_list()
+                while not stop.is_set():
+                    if session.query(sql).to_sorted_list() != baseline:
+                        stable[slot] = False
+                    counts[slot] += 1
+        except Exception as exc:  # noqa: BLE001 - a dead reader is a failure
+            stable[slot] = False
+            errors.append(f"reader {slot}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,)) for slot in range(args.readers)
+    ]
+    for thread in threads:
+        thread.start()
+    for _ in range(args.commits):
+        database.insert("r", table.make_inserts(args.delta))
+        time.sleep(0.01)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    system.stop_background_maintenance(drain=True)
+
+    print(f"writer: {args.commits} commits x {args.delta} rows; database at version {database.version}")
+    print(f"readers: {args.readers} sessions, {sum(counts)} snapshot queries total")
+    for error in errors:
+        print(f"reader error: {error}")
+    print(f"snapshot stability: {'OK' if all(stable) else 'VIOLATED'} "
+          "(every pinned read identical while the writer committed)")
+    print(f"maintenance: {system.scheduler.summary()}")
+    print(f"sessions: {database.session_registry.summary()}")
+    return 0 if all(stable) else 1
+
+
 def command_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__} — In-memory Incremental Maintenance of Provenance Sketches")
     print("subsystems:")
@@ -246,6 +415,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_compare(args)
     if args.command == "maintain":
         return command_maintain(args)
+    if args.command == "serve":
+        return command_serve(args)
     if args.command == "info":
         return command_info(args)
     parser.error(f"unknown command {args.command!r}")

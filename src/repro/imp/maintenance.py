@@ -167,8 +167,15 @@ class IncrementalMaintainer(BaseMaintainer):
 
     def capture(self) -> MaintenanceResult:
         started = time.perf_counter()
-        sketch = self.engine.initialize()
-        self._record_version(sketch)
+        # Capture must be atomic with respect to commits: the engine scans
+        # live tables, so the version the sketch is recorded at has to be the
+        # version those scans observed.  Without the lock a commit landing
+        # mid-capture (or between the scans and the version read) would label
+        # a pre-commit sketch with a post-commit version and its delta would
+        # never be applied.
+        with self.database.lock:
+            sketch = self.engine.initialize()
+            self._record_version(sketch)
         return MaintenanceResult(
             sketch=sketch, recaptured=True, seconds=time.perf_counter() - started
         )
@@ -179,8 +186,15 @@ class IncrementalMaintainer(BaseMaintainer):
         assert self.valid_at_version is not None
         started = time.perf_counter()
         tables = self.plan.referenced_tables()
-        db_delta = self.database.database_delta_since(tables, self.valid_at_version)
-        return self._maintain_from(db_delta, self.database.version, started)
+        # Read the target version *before* fetching the delta and bound the
+        # fetch explicitly: a commit interleaving after the version read is
+        # then simply outside the window and handled by the next maintenance,
+        # instead of silently widening the delta past the recorded version.
+        target = self.database.version
+        db_delta = self.database.database_delta_since(
+            tables, self.valid_at_version, target
+        )
+        return self._maintain_from(db_delta, target, started)
 
     def maintain_with(
         self, db_delta: DatabaseDelta, target_version: int | None = None
@@ -212,10 +226,14 @@ class IncrementalMaintainer(BaseMaintainer):
         outcome = self.engine.maintain(relevant)
         if outcome.needs_recapture:
             # Deletions exhausted a min/max or top-k buffer: fall back to a
-            # full recapture (Sec. 7.2).
-            self.engine.reset()
-            sketch = self.engine.initialize()
-            self._record_version(sketch, target_version)
+            # full recapture (Sec. 7.2).  The recapture scans *live* tables,
+            # which may already be newer than ``target_version``, so it is
+            # recorded at the version its scans actually observed (read
+            # atomically under the write lock), not at the round's target.
+            with self.database.lock:
+                self.engine.reset()
+                sketch = self.engine.initialize()
+                self._record_version(sketch, self.database.version)
             return MaintenanceResult(
                 sketch=sketch,
                 delta_tuples=delta_tuples,
@@ -240,8 +258,12 @@ class FullMaintainer(BaseMaintainer):
 
     def capture(self) -> MaintenanceResult:
         started = time.perf_counter()
-        sketch = capture_sketch(self.plan, self.partition, self.database)
-        self._record_version(sketch)
+        # Atomic capture+version read, for the same reason as the
+        # incremental maintainer: the recorded version must be the one the
+        # capture query actually scanned.
+        with self.database.lock:
+            sketch = capture_sketch(self.plan, self.partition, self.database)
+            self._record_version(sketch)
         return MaintenanceResult(
             sketch=sketch, recaptured=True, seconds=time.perf_counter() - started
         )

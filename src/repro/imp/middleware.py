@@ -16,6 +16,7 @@ Two baselines mirror the paper's experiments:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
@@ -71,6 +72,10 @@ class WorkloadSystem:
     def __init__(self, database: Database) -> None:
         self.database = database
         self.statistics = SystemStatistics()
+        # Aggregate counters are mutated by query threads, the update path
+        # and the background maintenance thread; CPython ``+=`` on attributes
+        # is not atomic, so every mutation happens under this lock.
+        self._statistics_lock = threading.Lock()
 
     # -- workload API -----------------------------------------------------------------
 
@@ -99,9 +104,10 @@ class WorkloadSystem:
             database_delta = DatabaseDelta()
             database_delta.set_delta(stored.name, delta)
             version = self.database.apply_database_delta(database_delta)
-        self.statistics.updates += 1
-        self.statistics.update_tuples += len(delta)
-        self.statistics.update_seconds += time.perf_counter() - started
+        with self._statistics_lock:
+            self.statistics.updates += 1
+            self.statistics.update_tuples += len(delta)
+            self.statistics.update_seconds += time.perf_counter() - started
         if delta:
             # An empty update commits nothing: it must not advance
             # statement-counted eager batches or trigger maintenance rounds.
@@ -139,11 +145,14 @@ class NoSketchSystem(WorkloadSystem):
 
     def run_query(self, sql: str) -> Relation:
         started = time.perf_counter()
-        result = self.database.query(
-            sql, optimize_plans=self.optimize_plans, vectorize=self.vectorize
-        )
-        self.statistics.queries += 1
-        self.statistics.query_seconds += time.perf_counter() - started
+        # Under the write lock so multi-table plans read one committed state.
+        with self.database.lock:
+            result = self.database.query(
+                sql, optimize_plans=self.optimize_plans, vectorize=self.vectorize
+            )
+        with self._statistics_lock:
+            self.statistics.queries += 1
+            self.statistics.query_seconds += time.perf_counter() - started
         return result
 
 
@@ -179,6 +188,17 @@ class SketchBasedSystem(WorkloadSystem):
         self.scheduler = MaintenanceScheduler(
             database, self.store, compact_deltas=compact_deltas
         )
+        # Serializes first-capture of a template: two sessions racing on the
+        # same cold query must not both build partitions, indexes and
+        # operator state.
+        self._capture_lock = threading.Lock()
+        self._maintenance_stop = threading.Event()
+        self._maintenance_thread: threading.Thread | None = None
+        # Guards start/stop of the maintenance thread: without it two
+        # concurrent starts could each spawn a loop and orphan the first
+        # (its stop event would be overwritten, making it unstoppable).
+        self._maintenance_control = threading.Lock()
+        self.maintenance_errors: list[BaseException] = []
 
     # -- maintainer factory (differs between IMP and FM) ----------------------------------
 
@@ -197,22 +217,39 @@ class SketchBasedSystem(WorkloadSystem):
                 entry = self._capture_entry(sql, template, plan)
             if entry is None:
                 # No safe sketch attribute or unsupported operator: answer the
-                # query without provenance-based data skipping.
-                self.statistics.fallback_queries += 1
-                result = self.database.query(
-                    plan,
-                    optimize_plans=self.optimize_plans,
-                    vectorize=self.vectorize,
-                )
+                # query without provenance-based data skipping.  Held under
+                # the write lock so a multi-table plan cannot observe half of
+                # a concurrent commit across its scans.
+                with self._statistics_lock:
+                    self.statistics.fallback_queries += 1
+                with self.database.lock:
+                    result = self.database.query(
+                        plan,
+                        optimize_plans=self.optimize_plans,
+                        vectorize=self.vectorize,
+                    )
                 return result
-            self.statistics.sketch_hits += 1
+            with self._statistics_lock:
+                self.statistics.sketch_hits += 1
             result = self._answer_with_sketch(entry)
             return result
         finally:
-            self.statistics.queries += 1
-            self.statistics.query_seconds += time.perf_counter() - started
+            with self._statistics_lock:
+                self.statistics.queries += 1
+                self.statistics.query_seconds += time.perf_counter() - started
 
     def _capture_entry(
+        self, sql: str, template: QueryTemplate, plan: PlanNode
+    ) -> SketchEntry | None:
+        with self._capture_lock:
+            # Double-checked: another session may have captured this template
+            # while we waited for the lock (peek keeps hit/miss stats exact).
+            existing = self.store.peek(template)
+            if existing is not None:
+                return existing
+            return self._capture_entry_locked(sql, template, plan)
+
+    def _capture_entry_locked(
         self, sql: str, template: QueryTemplate, plan: PlanNode
     ) -> SketchEntry | None:
         try:
@@ -240,24 +277,42 @@ class SketchBasedSystem(WorkloadSystem):
         )
         entry.maintenance_seconds += result.seconds
         self.store.put(entry)
-        self.statistics.sketch_captures += 1
-        self.statistics.capture_seconds += capture_seconds
+        with self._statistics_lock:
+            self.statistics.sketch_captures += 1
+            self.statistics.capture_seconds += capture_seconds
         return entry
 
     def _answer_with_sketch(self, entry: SketchEntry) -> Relation:
+        # Maintain-then-evaluate must be atomic against commits: the
+        # instrumented plan's skip ranges are only sound for the version the
+        # sketch was just brought to, so a commit between ensure and query
+        # would produce a torn result (new rows in covered fragments visible,
+        # new rows in skipped fragments silently dropped).  Lock order is
+        # round lock then database lock -- the same order the background
+        # maintenance rounds use -- so the two paths cannot deadlock.
+        # Sessions are unaffected: their reads never touch these locks.
+        with self.scheduler.round_lock, self.database.lock:
+            return self._answer_with_sketch_locked(entry)
+
+    def _answer_with_sketch_locked(self, entry: SketchEntry) -> Relation:
         maintenance_started = time.perf_counter()
         result = self.scheduler.ensure_entry(entry)
         maintenance_seconds = time.perf_counter() - maintenance_started
         # The staleness check and audit-log scan cost time even when they find
         # an empty delta; dropping no-op runs would understate maintenance.
         entry.maintenance_seconds += maintenance_seconds
-        self.statistics.maintenance_seconds += maintenance_seconds
-        if result.changed or result.delta_tuples:
-            entry.maintenance_count += 1
-            self.statistics.sketch_maintenances += 1
-            self.store.statistics.maintenances += 1
-        entry.use_count += 1
-        self.store.touch(entry)
+        with self._statistics_lock:
+            self.statistics.maintenance_seconds += maintenance_seconds
+            if result.changed or result.delta_tuples:
+                entry.maintenance_count += 1
+                self.statistics.sketch_maintenances += 1
+                self.store.statistics.maintenances += 1
+        self.store.record_use(entry)
+        # Read the version *before* the sketch: a background maintenance round
+        # can interleave, and the stale-side mislabeling (newer sketch cached
+        # under an older version) only causes a recompute on the next query,
+        # never a query answered through an outdated cached rewrite.
+        sketch_version = entry.valid_at_version
         sketch = entry.sketch
         assert sketch is not None
         # Optimizing the instrumented plan merges the injected sketch
@@ -267,17 +322,13 @@ class SketchBasedSystem(WorkloadSystem):
         # operate on the translator's shape).  The rewritten plan is cached on
         # the entry and reused while the sketch's version is unchanged, so
         # read-heavy workloads pay for the rewrite once per maintenance.
-        if (
-            entry.instrumented_plan is None
-            or entry.instrumented_at_version != entry.valid_at_version
-        ):
+        plan = entry.instrumented_plan
+        if plan is None or entry.instrumented_at_version != sketch_version:
             optimizer = self._plan_optimizer if self.optimize_plans else None
-            entry.set_instrumented(
-                instrument_plan(entry.plan, sketch, optimizer=optimizer),
-                entry.valid_at_version,
-            )
+            plan = instrument_plan(entry.plan, sketch, optimizer=optimizer)
+            entry.set_instrumented(plan, sketch_version)
         return self.database.query(
-            entry.instrumented_plan, optimize_plans=False, vectorize=self.vectorize
+            plan, optimize_plans=False, vectorize=self.vectorize
         )
 
     # -- update path (eager maintenance hook) ----------------------------------------------------
@@ -289,11 +340,80 @@ class SketchBasedSystem(WorkloadSystem):
             return
         started = time.perf_counter()
         report = self.scheduler.run_round(tables)
-        self.statistics.sketch_maintenances += report.changed
         self.strategy.acknowledge_round(tables, report)
         # Recorded regardless of whether the round changed anything: a round
         # that only discovers empty deltas still spent maintenance time.
-        self.statistics.maintenance_seconds += time.perf_counter() - started
+        with self._statistics_lock:
+            self.statistics.sketch_maintenances += report.changed
+            self.statistics.maintenance_seconds += time.perf_counter() - started
+
+    # -- background maintenance thread -----------------------------------------------------------
+
+    @property
+    def background_maintenance_active(self) -> bool:
+        """Whether the background maintenance thread is currently running."""
+        thread = self._maintenance_thread
+        return thread is not None and thread.is_alive()
+
+    def start_background_maintenance(self, interval: float = 0.05) -> None:
+        """Run shared-delta maintenance rounds on a daemon thread.
+
+        Rounds execute every ``interval`` seconds until
+        :meth:`stop_background_maintenance`.  Sketch-answered queries are
+        serialized with rounds (they hold the round lock across
+        maintain+evaluate, so a query may wait for an in-flight round --
+        though one whose sketch the round already repaired then finds an
+        empty ensure); snapshot-session reads never touch these locks.
+        Exceptions inside a round are recorded in ``maintenance_errors``
+        (re-raised by ``stop_background_maintenance``) instead of silently
+        killing the thread.  Idempotent while a thread is active.
+        """
+        with self._maintenance_control:
+            if self.background_maintenance_active:
+                return
+            self._maintenance_stop = threading.Event()
+            stop = self._maintenance_stop
+
+            def loop() -> None:
+                while not stop.wait(interval):
+                    try:
+                        report = self.scheduler.run_round()
+                    except Exception as exc:  # noqa: BLE001 - surfaced on stop()
+                        self.maintenance_errors.append(exc)
+                        continue
+                    with self._statistics_lock:
+                        self.statistics.sketch_maintenances += report.changed
+                        self.statistics.maintenance_seconds += report.seconds
+
+            self._maintenance_thread = threading.Thread(
+                target=loop, name=f"{self.name}-maintenance", daemon=True
+            )
+            self._maintenance_thread.start()
+
+    def stop_background_maintenance(self, drain: bool = False) -> None:
+        """Stop the background thread (joining it) and surface its errors.
+
+        With ``drain=True`` one final synchronous round runs after the join,
+        so every registered sketch is current when this method returns.
+        """
+        with self._maintenance_control:
+            thread = self._maintenance_thread
+            if thread is None:
+                return
+            self._maintenance_stop.set()
+            thread.join()
+            self._maintenance_thread = None
+        if drain:
+            report = self.scheduler.run_round()
+            with self._statistics_lock:
+                self.statistics.sketch_maintenances += report.changed
+                self.statistics.maintenance_seconds += report.seconds
+        if self.maintenance_errors:
+            errors, self.maintenance_errors = self.maintenance_errors, []
+            raise IMPError(
+                f"background maintenance failed {len(errors)} time(s); first: "
+                f"{errors[0]!r}"
+            ) from errors[0]
 
     # -- reporting --------------------------------------------------------------------------------
 

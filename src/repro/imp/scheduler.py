@@ -31,6 +31,7 @@ not by the number of registered sketches.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -107,6 +108,24 @@ class MaintenanceScheduler:
         self.store = store
         self.compact_deltas = compact_deltas
         self.statistics = SchedulerStatistics()
+        # Maintainer operator state is single-writer: one lock serializes
+        # shared-delta rounds (eager updates, the background maintenance
+        # thread) and lazy query-time ensures against each other.  Commits may
+        # interleave freely: each round reads one target version up front and
+        # fetches every delta with an explicit ``until=target``, so updates
+        # landing mid-round are simply picked up by the next round.
+        self._round_lock = threading.RLock()
+
+    @property
+    def round_lock(self) -> threading.RLock:
+        """The round-serialization lock (reentrant).
+
+        Exposed so the middleware's sketch-answered query path can hold
+        maintenance *and* the database write lock across maintain+evaluate --
+        always acquired in the order round lock, then database lock, the same
+        order :meth:`run_round` uses internally.
+        """
+        return self._round_lock
 
     # -- staleness ----------------------------------------------------------------------
 
@@ -131,63 +150,80 @@ class MaintenanceScheduler:
         """Maintain every stale sketch with shared, compacted deltas.
 
         All maintained sketches end the round valid at the same target version
-        (the database version when the round started).
+        (the database version when the round started; later commits are left
+        for the next round, which keeps the staleness protocol correct under
+        interleaved writers).
         """
-        started = time.perf_counter()
-        report = RoundReport()
-        target = self.database.version
-        stale = self.stale_entries(tables)
-        report.examined = len(stale)
-        if not stale:
+        with self._round_lock:
+            started = time.perf_counter()
+            report = RoundReport()
+            target = self.database.version
+            # First captures run outside the round lock (only the middleware
+            # capture lock), so an entry can appear with valid_at_version
+            # *newer* than this round's target; maintaining it "to target"
+            # would fetch an inverted delta window (since > until) or label a
+            # newer sketch with an older version.  Such entries are simply
+            # left for the next round.
+            stale = [
+                entry
+                for entry in self.stale_entries(tables)
+                if entry.valid_at_version is not None
+                and entry.valid_at_version <= target
+            ]
+            report.examined = len(stale)
+            if not stale:
+                report.seconds = time.perf_counter() - started
+                self.statistics.absorb(report)
+                return report
+            shared = self._fetch_shared_deltas(stale, target, report)
+            for entry in stale:
+                result = self._fan_out(entry, shared, target)
+                report.maintained += 1
+                if result.changed or result.delta_tuples:
+                    report.changed += 1
+                    entry.maintenance_count += 1
+                    self.store.statistics.maintenances += 1
+                if result.recaptured:
+                    report.recaptured += 1
+                entry.maintenance_seconds += result.seconds
+            self.store.enforce_memory_budget()
             report.seconds = time.perf_counter() - started
             self.statistics.absorb(report)
             return report
-        shared = self._fetch_shared_deltas(stale, target, report)
-        for entry in stale:
-            result = self._fan_out(entry, shared, target)
-            report.maintained += 1
-            if result.changed or result.delta_tuples:
-                report.changed += 1
-                entry.maintenance_count += 1
-                self.store.statistics.maintenances += 1
-            if result.recaptured:
-                report.recaptured += 1
-            entry.maintenance_seconds += result.seconds
-        self.store.enforce_memory_budget()
-        report.seconds = time.perf_counter() - started
-        self.statistics.absorb(report)
-        return report
 
     def ensure_entry(self, entry: SketchEntry) -> MaintenanceResult:
         """Capture or maintain a single entry (the lazy query-time path).
 
         Uses the same fetch-once-and-compact pipeline as :meth:`run_round`,
         restricted to one entry, so the lazy path also benefits from net-delta
-        processing and the version-indexed audit log.
+        processing and the version-indexed audit log.  Serialized against
+        shared rounds by the round lock: maintainer state must never be fed
+        two deltas concurrently.
         """
-        maintainer = entry.maintainer
-        if not maintainer.is_captured:
-            return maintainer.capture()
-        if not maintainer.is_stale():
-            assert maintainer.sketch is not None
-            return MaintenanceResult(sketch=maintainer.sketch)
-        started = time.perf_counter()
-        report = RoundReport(examined=1)
-        target = self.database.version
-        shared = self._fetch_shared_deltas([entry], target, report)
-        result = self._fan_out(entry, shared, target)
-        report.maintained = 1
-        if result.changed or result.delta_tuples:
-            report.changed = 1
-        if result.recaptured:
-            report.recaptured = 1
-        # Maintenance grows operator state and retained versions, so the lazy
-        # path must re-check the memory budget too -- but never by evicting
-        # the entry that is about to answer the query.
-        self.store.enforce_memory_budget(protect=entry)
-        report.seconds = time.perf_counter() - started
-        self.statistics.absorb(report, as_round=False)
-        return result
+        with self._round_lock:
+            maintainer = entry.maintainer
+            if not maintainer.is_captured:
+                return maintainer.capture()
+            if not maintainer.is_stale():
+                assert maintainer.sketch is not None
+                return MaintenanceResult(sketch=maintainer.sketch)
+            started = time.perf_counter()
+            report = RoundReport(examined=1)
+            target = self.database.version
+            shared = self._fetch_shared_deltas([entry], target, report)
+            result = self._fan_out(entry, shared, target)
+            report.maintained = 1
+            if result.changed or result.delta_tuples:
+                report.changed = 1
+            if result.recaptured:
+                report.recaptured = 1
+            # Maintenance grows operator state and retained versions, so the
+            # lazy path must re-check the memory budget too -- but never by
+            # evicting the entry that is about to answer the query.
+            self.store.enforce_memory_budget(protect=entry)
+            report.seconds = time.perf_counter() - started
+            self.statistics.absorb(report, as_round=False)
+            return result
 
     # -- internals ------------------------------------------------------------------------
 

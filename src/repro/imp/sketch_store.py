@@ -18,6 +18,7 @@ The store supports two eviction modes that can be combined:
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -99,7 +100,15 @@ class StoreStatistics:
 
 
 class SketchStore:
-    """A template-keyed collection of :class:`SketchEntry` objects."""
+    """A template-keyed collection of :class:`SketchEntry` objects.
+
+    Thread-safe: lookups, recency ticks, use-counts and eviction run under
+    one internal lock, so the query path and the background maintenance
+    thread can touch the store concurrently without losing ticks or counts
+    (interleaved ``tick += 1`` / ``use_count += 1`` updates are not atomic in
+    CPython).  The lock is reentrant because registration re-checks the
+    memory budget.
+    """
 
     def __init__(
         self, capacity: int | None = None, max_bytes: int | None = None
@@ -108,6 +117,7 @@ class SketchStore:
         self._capacity = capacity
         self._max_bytes = max_bytes
         self._tick = 0
+        self._lock = threading.RLock()
         self.statistics = StoreStatistics()
 
     @property
@@ -119,18 +129,40 @@ class SketchStore:
 
     def get(self, template: QueryTemplate) -> SketchEntry | None:
         """Look up the entry for a query template (tracks hit/miss counters)."""
-        entry = self._entries.get(template.text)
-        if entry is None:
-            self.statistics.misses += 1
-        else:
-            self.statistics.hits += 1
-            self.touch(entry)
-        return entry
+        with self._lock:
+            entry = self._entries.get(template.text)
+            if entry is None:
+                self.statistics.misses += 1
+            else:
+                self.statistics.hits += 1
+                self.touch(entry)
+            return entry
+
+    def peek(self, template: QueryTemplate) -> SketchEntry | None:
+        """Look up an entry without touching hit/miss counters or recency.
+
+        Used by capture paths that re-check the store under their own lock: a
+        double-checked re-read must not inflate the hit statistics.
+        """
+        with self._lock:
+            return self._entries.get(template.text)
 
     def touch(self, entry: SketchEntry) -> None:
         """Mark ``entry`` as just used (feeds recency-aware eviction)."""
-        self._tick += 1
-        entry.last_used_tick = self._tick
+        with self._lock:
+            self._tick += 1
+            entry.last_used_tick = self._tick
+
+    def record_use(self, entry: SketchEntry) -> None:
+        """Count one sketch use and refresh recency, atomically.
+
+        The query path and the background maintenance thread both mutate
+        entry metadata; doing the increment under the store lock keeps
+        ``use_count`` (an eviction input) exact under concurrency.
+        """
+        with self._lock:
+            entry.use_count += 1
+            self.touch(entry)
 
     def __contains__(self, template: QueryTemplate) -> bool:
         return template.text in self._entries
@@ -139,14 +171,21 @@ class SketchStore:
         return len(self._entries)
 
     def entries(self) -> Iterator[SketchEntry]:
-        """Iterate over all managed sketches."""
-        return iter(self._entries.values())
+        """Iterate over all managed sketches.
+
+        Returns an iterator over a point-in-time copy, so callers can walk it
+        while other threads register or evict entries.
+        """
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     def entries_for_table(self, table: str) -> list[SketchEntry]:
         """Entries whose query references ``table`` (candidates for maintenance)."""
         table = table.lower()
+        with self._lock:
+            candidates = list(self._entries.values())
         return [
-            entry for entry in self._entries.values() if table in entry.referenced_tables()
+            entry for entry in candidates if table in entry.referenced_tables()
         ]
 
     # -- mutation --------------------------------------------------------------------
@@ -157,26 +196,29 @@ class SketchStore:
         Re-putting an existing template replaces the entry without counting a
         new capture or triggering capacity eviction.
         """
-        is_new = entry.template.text not in self._entries
-        if (
-            is_new
-            and self._capacity is not None
-            and len(self._entries) >= self._capacity
-        ):
-            self._evict_one()
-        self.touch(entry)
-        self._entries[entry.template.text] = entry
-        if is_new:
-            self.statistics.captures += 1
-        self.enforce_memory_budget(protect=entry)
+        with self._lock:
+            is_new = entry.template.text not in self._entries
+            if (
+                is_new
+                and self._capacity is not None
+                and len(self._entries) >= self._capacity
+            ):
+                self._evict_one()
+            self.touch(entry)
+            self._entries[entry.template.text] = entry
+            if is_new:
+                self.statistics.captures += 1
+            self.enforce_memory_budget(protect=entry)
 
     def remove(self, template: QueryTemplate) -> None:
         """Drop the entry for a template (no error when absent)."""
-        self._entries.pop(template.text, None)
+        with self._lock:
+            self._entries.pop(template.text, None)
 
     def clear(self) -> None:
         """Drop all entries."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def _evict_one(self) -> None:
         # Least useful first; least recently used breaks use_count ties so the
@@ -200,34 +242,36 @@ class SketchStore:
         """
         if self._max_bytes is None:
             return 0
-        # Size each entry once and evict cheapest-first from a sorted victim
-        # list, keeping a running total: evicting k of N entries costs one
-        # footprint walk, not one per eviction.
-        sizes = {
-            entry.template.text: entry.memory_bytes()
-            for entry in self._entries.values()
-        }
-        total = sum(sizes.values())
-        victims = sorted(
-            (entry for entry in self._entries.values() if entry is not protect),
-            key=lambda entry: (entry.last_used_tick, entry.use_count),
-        )
-        evicted = 0
-        for victim in victims:
-            if total <= self._max_bytes:
-                break
-            del self._entries[victim.template.text]
-            total -= sizes[victim.template.text]
-            self.statistics.evictions += 1
-            self.statistics.bytes_evictions += 1
-            evicted += 1
-        return evicted
+        with self._lock:
+            # Size each entry once and evict cheapest-first from a sorted
+            # victim list, keeping a running total: evicting k of N entries
+            # costs one footprint walk, not one per eviction.
+            sizes = {
+                entry.template.text: entry.memory_bytes()
+                for entry in self._entries.values()
+            }
+            total = sum(sizes.values())
+            victims = sorted(
+                (entry for entry in self._entries.values() if entry is not protect),
+                key=lambda entry: (entry.last_used_tick, entry.use_count),
+            )
+            evicted = 0
+            for victim in victims:
+                if total <= self._max_bytes:
+                    break
+                del self._entries[victim.template.text]
+                total -= sizes[victim.template.text]
+                self.statistics.evictions += 1
+                self.statistics.bytes_evictions += 1
+                evicted += 1
+            return evicted
 
     # -- reporting ---------------------------------------------------------------------
 
     def memory_bytes(self) -> int:
         """Total memory used by sketches and their maintenance state."""
-        return sum(entry.memory_bytes() for entry in self._entries.values())
+        with self._lock:
+            return sum(entry.memory_bytes() for entry in self._entries.values())
 
     def summary(self) -> dict[str, object]:
         """A compact report used by the examples and the benchmark harness."""

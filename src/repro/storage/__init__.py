@@ -16,6 +16,7 @@ experiments.  It provides exactly the services IMP needs from a backend
 
 from repro.storage.database import Database
 from repro.storage.delta import Delta, DeltaTuple, DatabaseDelta, INSERT, DELETE
+from repro.storage.sessions import Session, SessionRegistry, SnapshotView
 from repro.storage.snapshots import AuditLog, AuditRecord
 from repro.storage.statistics import equi_depth_boundaries, equi_width_boundaries
 from repro.storage.table import StoredTable
@@ -29,6 +30,9 @@ __all__ = [
     "Delta",
     "DeltaTuple",
     "INSERT",
+    "Session",
+    "SessionRegistry",
+    "SnapshotView",
     "StoredTable",
     "equi_depth_boundaries",
     "equi_width_boundaries",

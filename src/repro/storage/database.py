@@ -15,17 +15,20 @@ its audit log.  IMP talks to it for
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.errors import StorageError
 from repro.relational.algebra import PlanNode
+from repro.relational.columnar import ColumnBatch
 from repro.relational.evaluator import Evaluator
 from repro.relational.expressions import compile_expression
-from repro.relational.schema import Relation, Row, Schema
+from repro.relational.schema import Relation, Row, Schema, order_component
 from repro.sql.ast import DeleteStatement, InsertStatement, SelectStatement
 from repro.sql.parser import parse_statement
 from repro.sql.translator import Translator
 from repro.storage.delta import DatabaseDelta, Delta
+from repro.storage.sessions import Session, SessionRegistry
 from repro.storage.snapshots import AuditLog, AuditRecord
 from repro.storage.statistics import (
     ColumnStatistics,
@@ -35,8 +38,51 @@ from repro.storage.statistics import (
 from repro.storage.table import StoredTable
 
 
+def _canonical_component(value: object) -> tuple:
+    """One sort-key component of the canonical snapshot order.
+
+    NaN breaks ``sorted``'s total order (every comparison is False), so it is
+    keyed by an explicit flag at a fixed position instead of by its own
+    comparisons.  Distinct NaN objects necessarily tie -- they are
+    content-indistinguishable -- and keep their insertion order among
+    themselves (``sorted`` is stable).
+    """
+    tag, component = order_component(value)
+    if isinstance(component, float) and component != component:
+        return (tag, 1, 0.0)
+    return (tag, 0, component)
+
+
+def _canonical_items(items: Iterable[tuple[Row, int]]) -> list[tuple[Row, int]]:
+    """Sort ``(row, multiplicity)`` pairs into a content-determined order.
+
+    Snapshot batches are built in this canonical order so that a pinned
+    version's batch is a pure function of the version's *content*, not of
+    when it was materialized: a rollback reconstruction appends undeleted
+    rows at the dict tail, and float aggregates accumulate in batch order, so
+    without canonicalization two materializations of the same version could
+    answer SUM queries with different low bits.  The differential concurrency
+    harness asserts bit-identical snapshot reads across runs; this is what
+    makes that hold.
+    """
+    return sorted(
+        items,
+        key=lambda item: tuple(_canonical_component(value) for value in item[0]),
+    )
+
+
 class Database:
-    """An in-memory, versioned, bag-semantics relational database."""
+    """An in-memory, versioned, bag-semantics relational database.
+
+    Thread safety (MVCC-style): a single reentrant write lock serializes
+    commits (delta validation, table mutation, version advance, audit-log
+    append, cache invalidation) and the legacy read paths that touch live
+    mutable state (:meth:`relation`, :meth:`column_batch`, :meth:`index_scan`,
+    the statistics caches).  Concurrent sessions (:meth:`connect`) instead
+    read *pinned snapshots*: committed versions are immutable, so once a
+    snapshot batch is materialized (briefly under the lock) every subsequent
+    read of that version is lock-free.
+    """
 
     def __init__(self, name: str = "imp") -> None:
         self.name = name
@@ -50,6 +96,21 @@ class Database:
         # version; every committed update invalidates the whole cache, so a
         # cached entry is always as fresh as the data it summarises.
         self._statistics_cache: dict[tuple, object] = {}
+        # The single write lock.  Reentrant so compound update paths
+        # (delete_where: collect victims, then commit) stay atomic without
+        # special-casing the nested _commit acquisition.
+        self._lock = threading.RLock()
+        self._sessions = SessionRegistry()
+        # Highest version whose audit records have been reclaimed
+        # (prune_history(prune_audit=True)); sessions may not re-pin below it
+        # because those versions can no longer be rematerialized.
+        self._audit_floor = 0
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The database write lock (exposed for coarse external critical
+        sections, e.g. the serving benchmark's lock-everything baseline)."""
+        return self._lock
 
     # -- catalog -------------------------------------------------------------------
 
@@ -61,19 +122,32 @@ class Database:
     ) -> StoredTable:
         """Create an empty table; raises when the name is already taken."""
         name = name.lower()
-        if name in self._tables:
-            raise StorageError(f"table {name!r} already exists")
-        table = StoredTable(name, columns if isinstance(columns, Schema) else Schema(columns), primary_key)
-        self._tables[name] = table
-        return table
+        with self._lock:
+            if name in self._tables:
+                raise StorageError(f"table {name!r} already exists")
+            table = StoredTable(
+                name, columns if isinstance(columns, Schema) else Schema(columns), primary_key
+            )
+            self._tables[name] = table
+            return table
 
     def drop_table(self, name: str) -> None:
-        """Remove a table and its data."""
+        """Remove a table, its data and its audit history.
+
+        Dropping destroys version history: snapshot sessions that already
+        materialized the table keep reading their immutable batches, but
+        un-materialized snapshot reads of a dropped table raise, and a table
+        later *recreated* under the same name is a brand-new table -- its
+        snapshots never roll back through the old table's deltas (the audit
+        log forgets the name), so old pins read the new table's history only.
+        """
         name = name.lower()
-        if name not in self._tables:
-            raise StorageError(f"unknown table {name!r}")
-        del self._tables[name]
-        self._statistics_cache.clear()
+        with self._lock:
+            if name not in self._tables:
+                raise StorageError(f"unknown table {name!r}")
+            del self._tables[name]
+            self._audit_log.forget_table(name)
+            self._statistics_cache.clear()
 
     def has_table(self, name: str) -> bool:
         """Whether a table with this name exists."""
@@ -93,9 +167,15 @@ class Database:
     # -- RelationProvider / SchemaProvider protocol -----------------------------------
 
     def relation(self, table: str) -> Relation:
-        """The current contents of ``table`` as a relation."""
-        self._scan_counter += 1
-        return self.table(table).as_relation()
+        """The current contents of ``table`` as a relation.
+
+        Takes the write lock: reading live table state while a multi-table
+        commit is mid-apply would observe a torn database.  Sessions read
+        pinned snapshots instead and skip this lock entirely.
+        """
+        with self._lock:
+            self._scan_counter += 1
+            return self.table(table).as_relation()
 
     def column_batch(self, table: str):
         """The current contents of ``table`` as a shared columnar batch.
@@ -106,8 +186,9 @@ class Database:
         keeping the scan-count instrumentation comparable between the row and
         vectorized engines.  The batch is shared and must not be mutated.
         """
-        self._scan_counter += 1
-        return self.table(table).as_column_batch()
+        with self._lock:
+            self._scan_counter += 1
+            return self.table(table).as_column_batch()
 
     def schema_of(self, table: str) -> Schema:
         """The schema of ``table``."""
@@ -129,8 +210,9 @@ class Database:
 
     def index_scan(self, table: str, attribute: str, intervals) -> list[tuple[Row, int]]:
         """Index range scan over ``table.attribute`` (used by the evaluator)."""
-        self._index_scan_counter += 1
-        return list(self.table(table).rows_in_intervals(attribute, intervals))
+        with self._lock:
+            self._index_scan_counter += 1
+            return list(self.table(table).rows_in_intervals(attribute, intervals))
 
     @property
     def index_scan_count(self) -> int:
@@ -182,32 +264,45 @@ class Database:
 
     def delta_since(self, table: str, since: int, until: int | None = None) -> Delta:
         """The combined delta of ``table`` between versions ``since`` and ``until``."""
-        until = self._version if until is None else until
-        self._validate_versions(since, until)
-        self._delta_fetch_counter += 1
-        return self._audit_log.delta_between(table, self.schema_of(table), since, until)
+        with self._lock:
+            until = self._version if until is None else until
+            self._validate_versions(since, until)
+            self._delta_fetch_counter += 1
+            return self._audit_log.delta_between(table, self.schema_of(table), since, until)
 
     def database_delta_since(
         self, tables: Iterable[str], since: int, until: int | None = None
     ) -> DatabaseDelta:
         """Per-table deltas for ``tables`` between two versions."""
-        until = self._version if until is None else until
-        self._validate_versions(since, until)
-        schemas = {table: self.schema_of(table) for table in tables}
-        self._delta_fetch_counter += len(schemas)
-        return self._audit_log.database_delta_between(schemas, since, until)
+        with self._lock:
+            until = self._version if until is None else until
+            self._validate_versions(since, until)
+            schemas = {table: self.schema_of(table) for table in tables}
+            self._delta_fetch_counter += len(schemas)
+            return self._audit_log.database_delta_between(schemas, since, until)
 
     def tables_changed_since(self, since: int, until: int | None = None) -> set[str]:
         """Tables touched by any committed update in ``(since, until]``."""
-        until = self._version if until is None else until
-        self._validate_versions(since, until)
-        return self._audit_log.tables_changed_between(since, until)
+        with self._lock:
+            until = self._version if until is None else until
+            self._validate_versions(since, until)
+            return self._audit_log.tables_changed_between(since, until)
 
     def _validate_versions(self, since: int, until: int) -> None:
         if since < 0 or until > self._version or since > until:
             raise StorageError(
                 f"invalid version range ({since}, {until}] for database at version "
                 f"{self._version}"
+            )
+        if since < self._audit_floor:
+            # Records in (since, audit_floor] were reclaimed: answering from
+            # the remaining tail would silently truncate the delta (a sketch
+            # maintained with it would drop every change in the pruned gap).
+            # Loud failure here is the contract that makes
+            # prune_history(prune_audit=True) safe to expose.
+            raise StorageError(
+                f"cannot read deltas since version {since}: audit history at "
+                f"or below version {self._audit_floor} has been pruned"
             )
 
     # -- updates ------------------------------------------------------------------------
@@ -283,15 +378,21 @@ class Database:
         return self._commit({stored.name: delta})
 
     def delete_where(self, table: str, predicate: Callable[[Row], bool]) -> int:
-        """Delete rows satisfying ``predicate``; returns the new snapshot identifier."""
-        stored = self.table(table)
-        victims: list[Row] = []
-        for row, multiplicity in stored.items():
-            if predicate(row):
-                victims.extend([row] * multiplicity)
-        if not victims:
-            return self._version
-        return self.delete_rows(table, victims)
+        """Delete rows satisfying ``predicate``; returns the new snapshot identifier.
+
+        Victim collection and the commit happen under one lock acquisition
+        (the lock is reentrant), so a concurrent writer cannot delete the
+        victims first and fail this commit's validation.
+        """
+        with self._lock:
+            stored = self.table(table)
+            victims: list[Row] = []
+            for row, multiplicity in stored.items():
+                if predicate(row):
+                    victims.extend([row] * multiplicity)
+            if not victims:
+                return self._version
+            return self.delete_rows(table, victims)
 
     def apply_database_delta(self, delta: DatabaseDelta) -> int:
         """Apply a multi-table delta as a single committed update."""
@@ -301,16 +402,22 @@ class Database:
         return self._commit(per_table)
 
     def _commit(self, deltas: dict[str, Delta]) -> int:
-        # Validate before mutating anything: a mid-apply error would leave
-        # table contents diverged from the audit log.
-        for table, delta in deltas.items():
-            self._validate_delta(self.table(table), delta)
-        for table, delta in deltas.items():
-            self.table(table).apply_delta(delta)
-        self._version += 1
-        self._audit_log.append(AuditRecord(self._version, dict(deltas)))
-        self._statistics_cache.clear()
-        return self._version
+        # The entire commit -- validation, table mutation, version advance,
+        # audit append, cache invalidation -- happens under the write lock so
+        # concurrent readers and writers never observe a torn state.
+        with self._lock:
+            # Validate before mutating anything: a mid-apply error would leave
+            # table contents diverged from the audit log.
+            for table, delta in deltas.items():
+                self._validate_delta(self.table(table), delta)
+            for table, delta in deltas.items():
+                self.table(table).apply_delta(delta)
+            self._version += 1
+            for table in deltas:
+                self.table(table).record_modified(self._version)
+            self._audit_log.append(AuditRecord(self._version, dict(deltas)))
+            self._statistics_cache.clear()
+            return self._version
 
     # -- query evaluation -----------------------------------------------------------------
 
@@ -360,7 +467,13 @@ class Database:
         SELECT statements return a relation; INSERT/DELETE return the new
         snapshot identifier.
         """
-        statement = parse_statement(sql)
+        return self.execute_statement(parse_statement(sql))
+
+    def execute_statement(
+        self, statement: SelectStatement | InsertStatement | DeleteStatement
+    ) -> Relation | int:
+        """Execute an already-parsed statement (sessions parse once and
+        dispatch here instead of re-parsing through :meth:`execute`)."""
         if isinstance(statement, SelectStatement):
             return self.query(statement)
         if isinstance(statement, InsertStatement):
@@ -402,16 +515,17 @@ class Database:
         repeated sketch-range selection and the plan optimizer's cardinality
         estimator do not rescan whole columns.
         """
-        stored = self.table(table)
-        key = ("column", stored.name, attribute)
-        cached = self._statistics_cache.get(key)
-        if cached is not None:
-            return cached  # type: ignore[return-value]
-        index = stored.schema.index_of(attribute)
-        values = [row[index] for row in stored.rows()]
-        statistics = collect_column_statistics(attribute, values)
-        self._statistics_cache[key] = statistics
-        return statistics
+        with self._lock:
+            stored = self.table(table)
+            key = ("column", stored.name, attribute)
+            cached = self._statistics_cache.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+            index = stored.schema.index_of(attribute)
+            values = [row[index] for row in stored.rows()]
+            statistics = collect_column_statistics(attribute, values)
+            self._statistics_cache[key] = statistics
+            return statistics
 
     def equi_depth_ranges(self, table: str, attribute: str, num_buckets: int) -> list[float]:
         """Equi-depth histogram boundaries for ``table.attribute``.
@@ -421,36 +535,143 @@ class Database:
         optimizer.  Cached like :meth:`column_statistics`; a copy is returned
         so callers cannot corrupt the cached list.
         """
+        with self._lock:
+            stored = self.table(table)
+            key = ("equi-depth", stored.name, attribute, num_buckets)
+            cached = self._statistics_cache.get(key)
+            if cached is None:
+                values = stored.column_values(attribute)
+                cached = equi_depth_boundaries([float(v) for v in values], num_buckets)
+                self._statistics_cache[key] = cached
+            return list(cached)  # type: ignore[arg-type]
+
+    # -- sessions & snapshots ------------------------------------------------------------------
+
+    @property
+    def session_registry(self) -> SessionRegistry:
+        """The registry of active snapshot sessions (drives retention)."""
+        return self._sessions
+
+    def connect(self, name: str | None = None) -> Session:
+        """Open a session pinned at the current snapshot version.
+
+        Pinning happens under the write lock, so the session's version cannot
+        be pruned between reading it and registering the pin.  Sessions are
+        cheap: nothing is materialized until the session's first read.
+        """
+        with self._lock:
+            return Session(self, self._sessions, self._version, name=name)
+
+    def snapshot_batch(self, table: str, version: int) -> ColumnBatch:
+        """The contents of ``table`` as of ``version``, as an immutable batch.
+
+        The first read of a (table, effective-version) pair materializes the
+        batch under the write lock by rolling the current contents back
+        through the inverted audit deltas newer than the pinned version; the
+        result is cached in the stored table, so every later read of the same
+        snapshot -- by any session -- is a lock-free dictionary hit on
+        immutable data.
+        """
+        # Validate before the lock-free fast path too: an out-of-range
+        # version must never be silently served from a cache hit (reading
+        # ``_version`` without the lock is sound -- it only grows, so a stale
+        # read can only over-reject a version committed this very instant).
+        if version < 0 or version > self._version:
+            raise StorageError(f"unknown version {version}")
         stored = self.table(table)
-        key = ("equi-depth", stored.name, attribute, num_buckets)
-        cached = self._statistics_cache.get(key)
-        if cached is None:
-            values = stored.column_values(attribute)
-            cached = equi_depth_boundaries([float(v) for v in values], num_buckets)
-            self._statistics_cache[key] = cached
-        return list(cached)  # type: ignore[arg-type]
+        effective = stored.effective_version(version)
+        cached = stored.snapshot_batch(effective)
+        if cached is not None:
+            return cached
+        with self._lock:
+            # Re-check under the lock: another session may have materialized
+            # the same snapshot while this one waited.
+            cached = stored.snapshot_batch(effective)
+            if cached is not None:
+                return cached
+            if effective == stored.last_modified_version:
+                batch = ColumnBatch.from_items(
+                    stored.schema, _canonical_items(stored.items()), consolidated=True
+                )
+            else:
+                history = self._audit_log.table_deltas_after(stored.name, effective)
+                if len(history) < stored.modifications_after(effective):
+                    # All newer modifications must still be in the audit log
+                    # to roll back to ``effective``; retention (prune floor =
+                    # oldest pinned version) guarantees this for registered
+                    # sessions.
+                    raise StorageError(
+                        f"snapshot history of table {stored.name!r} below version "
+                        f"{version} has been pruned"
+                    )
+                relation = stored.as_relation()
+                for _newer, delta in reversed(history):
+                    undo = delta.inverted()
+                    for row, multiplicity in undo.deletes():
+                        relation.remove(row, multiplicity)
+                    for row, multiplicity in undo.inserts():
+                        relation.add(row, multiplicity)
+                batch = ColumnBatch.from_items(
+                    stored.schema, _canonical_items(relation.items()), consolidated=True
+                )
+            stored.store_snapshot(effective, batch)
+            return batch
+
+    def prune_history(self, prune_audit: bool = False) -> dict[str, int]:
+        """Reclaim snapshot caches (and optionally audit records) no active
+        session can reach.
+
+        The retention floor is the oldest pinned version of the session
+        registry (the current version when no session is open): snapshot
+        batches keyed below the floor's effective version are unreachable --
+        future sessions pin at or above the current version -- and are always
+        safe to drop.  Audit records at or below the floor are only dropped on
+        request (``prune_audit=True``), because incremental sketch maintainers
+        may still need deltas older than any session pin.
+        """
+        with self._lock:
+            floor = self._sessions.oldest_pinned()
+            if floor is None:
+                floor = self._version
+            dropped_snapshots = 0
+            for stored in self._tables.values():
+                dropped_snapshots += stored.prune_snapshots(
+                    stored.effective_version(floor)
+                )
+            dropped_records = 0
+            if prune_audit:
+                dropped_records = self._audit_log.prune_before(floor)
+                self._audit_floor = max(self._audit_floor, floor)
+            return {
+                "floor": floor,
+                "snapshots": dropped_snapshots,
+                "audit_records": dropped_records,
+            }
+
+    @property
+    def audit_floor(self) -> int:
+        """Oldest version still materializable after audit pruning.
+
+        Sessions use it to reject re-pins at versions whose history is gone
+        (:meth:`Session.refresh`); 0 until ``prune_history(prune_audit=True)``
+        first reclaims records.
+        """
+        return self._audit_floor
+
+    def _on_session_closed(self) -> None:
+        """Session-close hook: drop snapshot caches made unreachable."""
+        self.prune_history(prune_audit=False)
 
     # -- maintenance helpers -------------------------------------------------------------------
 
     def snapshot_relation(self, table: str, version: int) -> Relation:
         """Reconstruct the contents of ``table`` as of ``version``.
 
-        Used by tests and the lazy-maintenance correctness checks: the current
-        contents are rolled back by undoing audit records newer than
-        ``version``.
+        Served from the per-version snapshot cache (a fresh mutable copy is
+        returned); counts as one scan like :meth:`relation`.
         """
-        self._validate_versions(0, self._version)
         if version > self._version or version < 0:
             raise StorageError(f"unknown version {version}")
-        relation = self.relation(table)
-        for record in reversed(list(self._audit_log.records())):
-            if record.version <= version:
-                break
-            delta = record.deltas.get(table.lower())
-            if delta is None:
-                continue
-            for row, multiplicity in delta.inserts():
-                relation.remove(row, multiplicity)
-            for row, multiplicity in delta.deletes():
-                relation.add(row, multiplicity)
-        return relation
+        with self._lock:
+            self._scan_counter += 1
+        return self.snapshot_batch(table, version).to_relation()

@@ -153,6 +153,18 @@ class Delta:
                 compact._deletes[row] = net
         return compact
 
+    def inverted(self) -> "Delta":
+        """The delta that undoes this one (inserts and deletes swapped).
+
+        Applying ``delta.inverted()`` to a state that ``delta`` produced
+        yields the pre-delta state; snapshot materialization uses it to roll
+        the current table contents back to a pinned version.
+        """
+        inverse = Delta(self.schema)
+        inverse._inserts = dict(self._deletes)
+        inverse._deletes = dict(self._inserts)
+        return inverse
+
     def _check(self, row: Row, multiplicity: int) -> None:
         if len(row) != len(self.schema):
             raise SchemaError(

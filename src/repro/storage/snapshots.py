@@ -109,6 +109,20 @@ class AuditLog:
                 result.set_delta(table, delta)
         return result
 
+    def table_deltas_after(self, table: str, version: int) -> list[tuple[int, Delta]]:
+        """``(version, delta)`` pairs of ``table`` newer than ``version``.
+
+        Snapshot materialization rolls the current contents back through these
+        records (inverted, newest first) to reach a pinned version; the pairs
+        are returned oldest first, callers reverse them.
+        """
+        versions = self._table_versions.get(table)
+        if not versions:
+            return []
+        deltas = self._table_deltas[table]
+        low = bisect.bisect_right(versions, version)
+        return list(zip(versions[low:], deltas[low:]))
+
     def tables_changed_between(self, since: int, until: int) -> set[str]:
         """Names of tables touched by any update in ``(since, until]``."""
         changed: set[str] = set()
@@ -117,6 +131,19 @@ class AuditLog:
             if low < bisect.bisect_right(versions, until):
                 changed.add(table)
         return changed
+
+    def forget_table(self, table: str) -> None:
+        """Drop the per-table history indexes of ``table``.
+
+        Called when a table is dropped: a later table created under the same
+        name is a *different* table, and rolling its snapshots back through
+        the old table's deltas would produce garbage (or schema errors).
+        The flat record list keeps the old deltas for archaeology; every
+        per-table query path (``delta_between``, ``table_deltas_after``,
+        ``tables_changed_between``) serves from the forgotten indexes.
+        """
+        self._table_versions.pop(table, None)
+        self._table_deltas.pop(table, None)
 
     def prune_before(self, version: int) -> int:
         """Drop records with ``version <= version``; return how many were dropped.

@@ -133,6 +133,16 @@ class StoredTable:
         self._indexes: dict[str, AttributeIndex] = {}
         self._row_count = 0
         self._column_cache: ColumnBatch | None = None
+        # Version history for snapshot-isolated readers.  ``_modified_versions``
+        # records every database version whose commit touched this table (a
+        # plain int list, never pruned, so effective-version lookups stay
+        # stable even after the audit log reclaims old records).  A pinned
+        # version ``v`` maps to the *effective* version: the largest commit
+        # <= v that modified the table; ``_snapshots`` caches one immutable
+        # columnar batch per effective version, materialized lazily on first
+        # read and pruned when no active session can reach it anymore.
+        self._modified_versions: list[int] = []
+        self._snapshots: dict[int, ColumnBatch] = {}
 
     # -- inspection --------------------------------------------------------------
 
@@ -208,6 +218,59 @@ class StoredTable:
         if minimum is None:
             return None
         return minimum, maximum
+
+    # -- version history (snapshot-isolated readers) ------------------------------
+
+    @property
+    def last_modified_version(self) -> int:
+        """The newest database version whose commit touched this table (0 when
+        the table has never been modified through a versioned commit)."""
+        return self._modified_versions[-1] if self._modified_versions else 0
+
+    def record_modified(self, version: int) -> None:
+        """Note that the commit producing ``version`` modified this table."""
+        if not self._modified_versions or version > self._modified_versions[-1]:
+            self._modified_versions.append(version)
+
+    def modifications_after(self, version: int) -> int:
+        """How many committed modifications of this table are newer than
+        ``version`` (used to detect pruned snapshot history)."""
+        return len(self._modified_versions) - bisect.bisect_right(
+            self._modified_versions, version
+        )
+
+    def effective_version(self, version: int) -> int:
+        """Map a pinned database version to this table's content version.
+
+        Contents only change at modification versions, so every pinned version
+        between two of them reads the same snapshot; keying the snapshot cache
+        by the effective version lets all of them share one materialization.
+        """
+        position = bisect.bisect_right(self._modified_versions, version)
+        return self._modified_versions[position - 1] if position else 0
+
+    def snapshot_batch(self, effective: int) -> ColumnBatch | None:
+        """The cached snapshot for an effective version, if materialized."""
+        return self._snapshots.get(effective)
+
+    def store_snapshot(self, effective: int, batch: ColumnBatch) -> None:
+        """Cache an immutable snapshot batch for an effective version."""
+        self._snapshots[effective] = batch
+
+    def prune_snapshots(self, min_effective: int) -> int:
+        """Drop cached snapshots below ``min_effective``; return how many.
+
+        Called by the database once the session registry guarantees no active
+        (or future) session can pin a version mapping below ``min_effective``.
+        """
+        stale = [key for key in self._snapshots if key < min_effective]
+        for key in stale:
+            del self._snapshots[key]
+        return len(stale)
+
+    def snapshot_memory_entries(self) -> int:
+        """Number of materialized snapshot versions currently cached."""
+        return len(self._snapshots)
 
     def lookup_by_key(self, key: object) -> Row | None:
         """Find the row with the given primary key value (if a key is defined)."""

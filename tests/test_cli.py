@@ -110,3 +110,62 @@ class TestCommands:
         assert "no-sketch" in output
         assert "full-maintenance" in output
         assert "fastest system" in output
+
+    def test_serve_repl_snapshot_isolation(self, capsys, monkeypatch):
+        """The REPL pins sessions: a commit is invisible until .refresh."""
+        import io
+
+        script = "\n".join(
+            [
+                ".open",
+                "SELECT COUNT(id) AS n FROM r",
+                ".commit 25",
+                "SELECT COUNT(id) AS n FROM r",
+                ".refresh",
+                "SELECT COUNT(id) AS n FROM r",
+                ".sessions",
+                ".close",
+                ".quit",
+                "",
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", "--rows", "300", "--groups", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "opened session 1 pinned at version 1" in output
+        # Pinned before and after the commit, then refreshed.
+        assert output.count("(300,)") == 2
+        assert "(325,)" in output
+        assert "closed session 1" in output
+
+    def test_serve_repl_surfaces_errors_without_dying(self, capsys, monkeypatch):
+        import io
+
+        script = ".open\nSELECT nope FROM missing\n.bogus\n.quit\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", "--rows", "100", "--groups", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "error:" in output
+        assert "unknown command" in output
+
+    def test_serve_demo_reports_stable_snapshots(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--demo",
+                "--rows",
+                "400",
+                "--groups",
+                "15",
+                "--readers",
+                "2",
+                "--commits",
+                "3",
+                "--delta",
+                "10",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "snapshot stability: OK" in output
+        assert "maintenance:" in output

@@ -1,0 +1,580 @@
+"""Deterministic differential concurrency harness.
+
+The serving layer's claim is that concurrency is *invisible*: N reader
+sessions at pinned snapshots, a writer committing under the write lock and
+background sketch maintenance must together produce exactly the states a
+serial execution of the same operations produces.  These tests verify the
+claim two ways:
+
+* **Deterministic interleavings** -- real threads stepped one operation at a
+  time by a :class:`TurnScheduler` whose schedule comes from a seeded RNG.
+  Every operation appends to a global log; afterwards the log is replayed
+  serially on a fresh database and every pinned-snapshot query result and
+  every maintained sketch must be bit-identical.  Runs across >= 3 seeds
+  (and a Hypothesis fuzz variant generates random schedules and op mixes).
+* **Free-running stress** -- unstepped threads race for real; snapshot
+  stability, final-state convergence and exact counter accounting are
+  asserted where determinism survives true parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.imp.middleware import IMPSystem
+from repro.imp.sketch_store import SketchStore
+from repro.storage.database import Database
+from repro.workloads.synthetic import load_synthetic
+
+# --------------------------------------------------------------------------------------
+# The barrier-stepped scheduler
+# --------------------------------------------------------------------------------------
+
+
+class TurnScheduler:
+    """Grant real threads one operation at a time, in a scripted order.
+
+    ``schedule`` is a sequence of worker ids; position ``i`` means worker
+    ``schedule[i]`` performs its next operation while every other worker
+    blocks on the condition variable.  Turns granted to finished workers are
+    skipped, and workers with operations left after the schedule runs out
+    drain in ascending worker-id order -- so the *total* operation order is a
+    pure function of (schedule, per-worker scripts), which is what makes the
+    differential replay exact.
+    """
+
+    def __init__(self, schedule: list[int], workers: list[int]) -> None:
+        self._condition = threading.Condition()
+        self._schedule = schedule
+        self._position = 0
+        self._alive = set(workers)
+        self.errors: list[BaseException] = []
+
+    def _current_worker(self) -> int | None:
+        while self._position < len(self._schedule):
+            worker = self._schedule[self._position]
+            if worker in self._alive:
+                return worker
+            self._position += 1
+        # Schedule exhausted: drain remaining workers deterministically.
+        return min(self._alive) if self._alive else None
+
+    def acquire(self, worker: int) -> bool:
+        """Block until it is ``worker``'s turn; False when the worker should
+        not run again (it already finished, or an error aborted the run)."""
+        with self._condition:
+            while True:
+                if self.errors or worker not in self._alive:
+                    return False
+                if self._current_worker() == worker:
+                    return True
+                self._condition.wait(timeout=10.0)
+
+    def release(self, worker: int, more: bool) -> None:
+        """End the current turn; ``more=False`` retires the worker."""
+        with self._condition:
+            if self._position < len(self._schedule) and self._schedule[
+                self._position
+            ] == worker:
+                self._position += 1
+            if not more:
+                self._alive.discard(worker)
+            self._condition.notify_all()
+
+    def abort(self, worker: int, error: BaseException) -> None:
+        with self._condition:
+            self.errors.append(error)
+            self._alive.discard(worker)
+            self._condition.notify_all()
+
+    def run(self, steps: dict[int, object]) -> None:
+        """Run one thread per worker; each ``steps[w]`` is a callable doing
+        ONE operation per call and returning False when out of operations."""
+
+        def loop(worker: int) -> None:
+            step = steps[worker]
+            while self.acquire(worker):
+                try:
+                    more = step()
+                except BaseException as exc:  # noqa: BLE001 - reported to the test
+                    self.abort(worker, exc)
+                    return
+                self.release(worker, more)
+
+        threads = [
+            threading.Thread(target=loop, args=(worker,), name=f"worker-{worker}")
+            for worker in steps
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads), "harness deadlock"
+        if self.errors:
+            raise self.errors[0]
+
+
+# --------------------------------------------------------------------------------------
+# Scenario construction
+# --------------------------------------------------------------------------------------
+
+QUERIES = [
+    "SELECT a, SUM(c) AS total FROM r GROUP BY a HAVING SUM(c) > 400",
+    "SELECT a, COUNT(id) AS n FROM r GROUP BY a",
+    "SELECT id, b FROM r WHERE b > 800",
+]
+
+CAPTURE_QUERIES = QUERIES[:2]
+
+
+def sketch_fingerprint(sketch):
+    """Content identity of a sketch across databases.
+
+    ``ProvenanceSketch.__eq__`` requires partition *object* identity (sound
+    within one store); the differential compares sketches from two separate
+    runs, so it fingerprints the partition boundaries plus the fragment bits.
+    """
+    if sketch is None:
+        return None
+    ranges = tuple(
+        (p.table, p.attribute, tuple(p.boundaries))
+        for p in sketch.partition
+    )
+    return (ranges, tuple(sorted(sketch.fragment_ids())))
+
+
+def make_database(num_rows: int = 400, num_groups: int = 12, seed: int = 9):
+    database = Database()
+    table = load_synthetic(
+        database, num_rows=num_rows, num_groups=num_groups, seed=seed
+    )
+    return database, table
+
+
+def make_batches(table, rng, count: int):
+    """Precompute commit batches (shared by the concurrent and serial runs)."""
+    batches = []
+    for index in range(count):
+        if index % 3 == 2:
+            deletes = table.pick_deletes(rng.randrange(1, 6))
+        else:
+            deletes = []
+        inserts = table.make_inserts(rng.randrange(3, 12))
+        batches.append((inserts, deletes))
+    return batches
+
+
+def apply_batch(database: Database, batch) -> int:
+    inserts, deletes = batch
+    if deletes:
+        database.delete_rows("r", deletes)
+    return database.insert("r", inserts)
+
+
+def make_system(database: Database) -> IMPSystem:
+    """An IMP middleware with sketches captured for the capture queries."""
+    system = IMPSystem(database, num_fragments=16)
+    for sql in CAPTURE_QUERIES:
+        system.run_query(sql)
+    assert len(system.store) == len(CAPTURE_QUERIES)
+    return system
+
+
+def reader_script(rng, num_queries: int) -> list[str]:
+    """A per-reader op script: pin, query, maybe refresh, close."""
+    ops = ["open"]
+    for _ in range(num_queries):
+        ops.append(f"query:{rng.randrange(len(QUERIES))}")
+        if rng.random() < 0.25:
+            ops.append("refresh")
+    ops.append("close")
+    return ops
+
+
+# --------------------------------------------------------------------------------------
+# Concurrent execution + serial replay
+# --------------------------------------------------------------------------------------
+
+
+def run_interleaved(seed: int, num_readers: int = 2, num_commits: int = 6):
+    """Execute one seeded interleaving; return the global operation log.
+
+    Log entries (in deterministic total order):
+      ("commit", batch_index, produced_version)
+      ("read", reader, pinned_version, query_index, sorted_rows)
+      ("maintain", target_version, ((sql, valid_at, sketch), ...))
+    """
+    import random
+
+    rng = random.Random(seed)
+    database, table = make_database()
+    system = make_system(database)
+    batches = make_batches(table, rng, num_commits)
+    scripts = {
+        reader: reader_script(rng, rng.randrange(3, 7))
+        for reader in range(num_readers)
+    }
+    writer_id = num_readers
+    maintenance_id = num_readers + 1
+    num_rounds = rng.randrange(2, 5)
+
+    workers = [*range(num_readers), writer_id, maintenance_id]
+    weights = [3] * num_readers + [2, 1]
+    total_ops = sum(len(s) for s in scripts.values()) + num_commits + num_rounds
+    schedule = rng.choices(workers, weights=weights, k=total_ops * 2)
+
+    log: list[tuple] = []
+    sessions: dict[int, object] = {}
+
+    def reader_step(reader: int):
+        script = scripts[reader]
+
+        def step() -> bool:
+            op = script.pop(0)
+            if op == "open":
+                sessions[reader] = database.connect(name=f"reader-{reader}")
+            elif op == "refresh":
+                sessions[reader].refresh()
+            elif op == "close":
+                sessions[reader].close()
+            else:
+                query_index = int(op.split(":")[1])
+                session = sessions[reader]
+                rows = tuple(session.query(QUERIES[query_index]).to_sorted_list())
+                log.append(("read", reader, session.pinned_version, query_index, rows))
+            return bool(script)
+
+        return step
+
+    pending_batches = list(range(num_commits))
+
+    def writer_step() -> bool:
+        index = pending_batches.pop(0)
+        version = apply_batch(database, batches[index])
+        log.append(("commit", index, version))
+        return bool(pending_batches)
+
+    rounds_left = [num_rounds]
+
+    def maintenance_step() -> bool:
+        system.scheduler.run_round()
+        snapshot = tuple(
+            (entry.sql, entry.valid_at_version, sketch_fingerprint(entry.sketch))
+            for entry in system.store.entries()
+        )
+        log.append(("maintain", database.version, snapshot))
+        rounds_left[0] -= 1
+        return rounds_left[0] > 0
+
+    steps = {reader: reader_step(reader) for reader in range(num_readers)}
+    steps[writer_id] = writer_step
+    steps[maintenance_id] = maintenance_step
+
+    TurnScheduler(schedule, workers).run(steps)
+
+    for session in sessions.values():
+        if not session.is_closed:
+            session.close()
+    assert len(log) >= num_commits + num_rounds
+    return log, batches
+
+
+def replay_serially(log, batches) -> None:
+    """Re-execute the logged operation order single-threaded and assert every
+    read and every sketch is bit-identical to the concurrent run."""
+    database, _table = make_database()
+    system = make_system(database)
+
+    for entry in log:
+        kind = entry[0]
+        if kind == "commit":
+            _, index, version = entry
+            assert apply_batch(database, batches[index]) == version
+        elif kind == "read":
+            _, reader, pinned, query_index, rows = entry
+            with database.connect(name=f"replay-{reader}") as session:
+                session.refresh(pinned)
+                replayed = tuple(session.query(QUERIES[query_index]).to_sorted_list())
+            assert replayed == rows, (
+                f"snapshot read diverged: reader {reader} at version {pinned}, "
+                f"query {query_index}"
+            )
+        else:
+            _, target, sketches = entry
+            assert database.version == target
+            system.scheduler.run_round()
+            replayed = tuple(
+                (e.sql, e.valid_at_version, sketch_fingerprint(e.sketch))
+                for e in system.store.entries()
+            )
+            for (sql_a, at_a, sketch_a), (sql_b, at_b, sketch_b) in zip(
+                replayed, sketches
+            ):
+                assert sql_a == sql_b
+                assert at_a == at_b, f"sketch {sql_a!r} maintained to {at_b}, replay {at_a}"
+                assert sketch_a == sketch_b, f"sketch {sql_a!r} diverged at version {at_a}"
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_interleaved_execution_matches_serial_replay(seed):
+    """Pinned-snapshot reads and maintained sketches are bit-identical to a
+    serial replay of the same total operation order, across seeds."""
+    log, batches = run_interleaved(seed)
+    replay_serially(log, batches)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    num_readers=st.integers(min_value=1, max_value=3),
+    num_commits=st.integers(min_value=1, max_value=8),
+)
+def test_fuzzed_schedules_match_serial_replay(seed, num_readers, num_commits):
+    """Hypothesis sweep over random query/update/maintenance schedules."""
+    log, batches = run_interleaved(
+        seed, num_readers=num_readers, num_commits=num_commits
+    )
+    replay_serially(log, batches)
+
+
+# --------------------------------------------------------------------------------------
+# Free-running (unstepped) concurrency
+# --------------------------------------------------------------------------------------
+
+
+def test_free_running_readers_see_stable_snapshots():
+    """Unstepped readers, writer and background maintenance: every pinned
+    read stays identical to its first answer, and after the final drain the
+    sketches equal a serial maintenance of the full history."""
+    import random
+
+    database, table = make_database(num_rows=600, num_groups=15)
+    system = make_system(database)
+    rng = random.Random(3)
+    commit_batches = [
+        (table.make_inserts(rng.randrange(5, 15)), []) for _ in range(10)
+    ]
+
+    stop = threading.Event()
+    violations: list[str] = []
+
+    def reader(slot: int) -> None:
+        with database.connect(name=f"stress-{slot}") as session:
+            baselines = {
+                sql: tuple(session.query(sql).to_sorted_list()) for sql in QUERIES
+            }
+            while not stop.is_set():
+                for sql, baseline in baselines.items():
+                    if tuple(session.query(sql).to_sorted_list()) != baseline:
+                        violations.append(
+                            f"reader {slot} at {session.pinned_version}: {sql}"
+                        )
+
+    threads = [threading.Thread(target=reader, args=(slot,)) for slot in range(3)]
+    system.start_background_maintenance(interval=0.002)
+    for thread in threads:
+        thread.start()
+    for batch in commit_batches:
+        apply_batch(database, batch)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not any(thread.is_alive() for thread in threads)
+    system.stop_background_maintenance(drain=True)
+    assert violations == []
+
+    # Differential: serial system fed the same commits, maintained once.
+    serial_db, _ = make_database(num_rows=600, num_groups=15)
+    serial = make_system(serial_db)
+    for batch in commit_batches:
+        apply_batch(serial_db, batch)
+    serial.scheduler.run_round()
+    concurrent_sketches = {
+        e.sql: sketch_fingerprint(e.sketch) for e in system.store.entries()
+    }
+    for entry in serial.store.entries():
+        assert concurrent_sketches[entry.sql] == sketch_fingerprint(entry.sketch)
+        assert concurrent_sketches[entry.sql] is not None
+
+
+def test_round_skips_entries_captured_past_its_target(monkeypatch):
+    """Regression: a sketch captured after a round read its target version
+    must be left for the next round, not maintained through an inverted
+    (since > until) delta window."""
+    database, table = make_database(num_rows=100, num_groups=5)
+    system = make_system(database)  # entries captured at version 1
+    database.insert("r", table.make_inserts(5))  # stale relative to version 2
+    # Simulate the race: the round reads its target *before* the capture
+    # landed, i.e. target < every entry's valid_at_version.
+    monkeypatch.setattr(type(database), "version", property(lambda self: 0))
+    report = system.scheduler.run_round()
+    assert report.examined == 0
+    assert report.delta_fetches == 0
+    monkeypatch.undo()
+    # The next round (with a correct target) maintains them normally.
+    report = system.scheduler.run_round()
+    assert report.maintained == len(CAPTURE_QUERIES)
+    for entry in system.store.entries():
+        assert entry.valid_at_version == database.version
+
+
+def test_session_registry_retention_and_pruning():
+    """Closing sessions drives snapshot-cache pruning; open pins protect
+    exactly the versions they can still read."""
+    database, table = make_database(num_rows=100, num_groups=5)
+    stored = database.table("r")
+
+    early = database.connect()
+    early.query(QUERIES[1])
+    for _ in range(3):
+        database.insert("r", table.make_inserts(5))
+        late = database.connect()
+        late.query(QUERIES[1])
+        late.close()
+    assert stored.snapshot_memory_entries() >= 2
+    oldest = database.session_registry.oldest_pinned()
+    assert oldest == early.pinned_version
+    # The early pin keeps its snapshot alive through pruning...
+    database.prune_history()
+    assert stored.snapshot_batch(stored.effective_version(early.pinned_version)) is not None
+    assert tuple(early.query(QUERIES[1]).to_sorted_list())  # still served
+    early.close()
+    # ...and closing it reclaims everything below the current version.
+    assert stored.snapshot_memory_entries() <= 1
+    assert database.session_registry.active_sessions() == 0
+
+
+def test_snapshot_batch_rejects_unknown_versions_even_when_cached():
+    """Regression: the lock-free cache fast path must not serve a batch for
+    an out-of-range version that happens to map to a cached effective key."""
+    database, table = make_database(num_rows=50, num_groups=5)
+    database.snapshot_batch("r", database.version)  # materialize + cache
+    with pytest.raises(StorageError):
+        database.snapshot_batch("r", database.version + 500)
+    with pytest.raises(StorageError):
+        database.snapshot_batch("r", -1)
+
+
+def test_drop_and_recreate_severs_snapshot_history():
+    """Regression: a recreated table never rolls back through the dropped
+    table's audit deltas (same name, different table)."""
+    database = Database()
+    database.create_table("t", ["id", "v"], primary_key="id")
+    database.insert("t", [(1, 10), (2, 20)])
+    session = database.connect()
+    database.drop_table("t")
+    database.create_table("t", ["id", "v"], primary_key="id")
+    database.insert("t", [(7, 70)])
+    # A fresh pin reads exactly the recreated table's contents...
+    with database.connect() as fresh:
+        assert sorted(fresh.query("SELECT id, v FROM t").rows()) == [(7, 70)]
+    # ...and the recreated table's snapshots come from its own (empty)
+    # pre-insert history, not the old table's deltas.
+    assert database.snapshot_batch("t", session.pinned_version).row_tuples() == []
+    session.close()
+
+
+def test_refresh_below_audit_floor_is_rejected():
+    """Regression: re-pinning below the pruned audit floor fails fast at
+    refresh time instead of breaking every later query."""
+    database, table = make_database(num_rows=60, num_groups=4)
+    for _ in range(4):
+        database.insert("r", table.make_inserts(3))
+    session = database.connect()
+    report = database.prune_history(prune_audit=True)
+    assert report["audit_records"] > 0
+    assert database.audit_floor == report["floor"]
+    with pytest.raises(StorageError):
+        session.refresh(1)
+    # The session is unharmed and still reads its pinned snapshot.
+    assert session.query(QUERIES[1]).to_sorted_list()
+    session.close()
+
+
+def test_delta_reads_below_audit_floor_fail_loudly():
+    """Regression: after prune_history(prune_audit=True), a maintainer whose
+    sketch is valid below the floor gets a StorageError, never a silently
+    truncated delta that would corrupt its sketch."""
+    database, table = make_database(num_rows=100, num_groups=5)
+    system = make_system(database)  # sketches valid at version 1
+    for _ in range(4):
+        database.insert("r", table.make_inserts(3))
+    database.prune_history(prune_audit=True)  # no sessions: floor = current
+    with pytest.raises(StorageError, match="pruned"):
+        database.delta_since("r", 1)
+    with pytest.raises(StorageError, match="pruned"):
+        system.scheduler.run_round()
+
+
+def test_refreshing_session_prunes_superseded_snapshots():
+    """Regression: a long-lived session that keeps refreshing does not
+    accumulate one cached snapshot batch per superseded version."""
+    database, table = make_database(num_rows=100, num_groups=5)
+    stored = database.table("r")
+    with database.connect() as session:
+        for _ in range(6):
+            database.insert("r", table.make_inserts(4))
+            session.refresh()
+            session.query(QUERIES[1])
+            assert stored.snapshot_memory_entries() <= 1
+
+
+def test_audit_prune_respects_pinned_floor():
+    """prune_history(prune_audit=True) keeps the records needed to
+    materialize every version an open session can read."""
+    database, table = make_database(num_rows=80, num_groups=4)
+    session = database.connect()
+    for _ in range(4):
+        database.insert("r", table.make_inserts(3))
+    database.prune_history(prune_audit=True)
+    # The session can still materialize its pinned snapshot from scratch.
+    rows = session.query(QUERIES[1]).to_sorted_list()
+    assert sum(count for _gid, count in rows) == 80
+    session.close()
+
+
+# --------------------------------------------------------------------------------------
+# SketchStore synchronization regression (ticks / use-counts)
+# --------------------------------------------------------------------------------------
+
+
+def test_sketch_store_ticks_and_use_counts_are_exact_under_threads():
+    """Regression for unsynchronized recency ticks and use-counts: N threads
+    hammering record_use must account every single use."""
+    database, _table = make_database(num_rows=200, num_groups=8)
+    system = make_system(database)
+    entries = list(system.store.entries())
+    store: SketchStore = system.store
+    base_tick = store._tick
+    base_uses = {id(entry): entry.use_count for entry in entries}
+
+    per_thread = 400
+    num_threads = 8
+    barrier = threading.Barrier(num_threads)
+
+    def hammer(slot: int) -> None:
+        barrier.wait()
+        for index in range(per_thread):
+            store.record_use(entries[(slot + index) % len(entries)])
+
+    threads = [threading.Thread(target=hammer, args=(slot,)) for slot in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total = num_threads * per_thread
+    assert store._tick == base_tick + total
+    gained = sum(
+        entry.use_count - base_uses[id(entry)] for entry in entries
+    )
+    assert gained == total

@@ -1,0 +1,210 @@
+"""Property sweep: per-version caches never serve stale data.
+
+The database caches three things per version: the columnar batch of each
+table (``column_batch``), per-column summary statistics
+(``column_statistics``) and equi-depth histogram boundaries
+(``equi_depth_ranges``).  Before this sweep they were only exercised
+incidentally; here Hypothesis drives random commit / failed-commit (rollback)
+/ drop / recreate sequences and after *every* operation each cached answer is
+compared against a from-scratch recomputation over the live table state.
+Snapshot caches are exercised too: a session pinned mid-sequence must keep
+answering from its version while the caches underneath it churn.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.relational.columnar import ColumnBatch
+from repro.storage.database import Database
+from repro.storage.statistics import collect_column_statistics, equi_depth_boundaries
+
+COLUMNS = ["id", "a", "b"]
+ATTRIBUTES = ["a", "b"]
+
+value_strategy = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+    st.none(),
+)
+
+operation_strategy = st.one_of(
+    st.tuples(st.just("insert"), st.lists(st.tuples(value_strategy, value_strategy), min_size=1, max_size=5)),
+    st.tuples(st.just("delete"), st.integers(min_value=0, max_value=10**6)),
+    st.tuples(st.just("failed-insert"), st.tuples(value_strategy, value_strategy)),
+    st.tuples(st.just("failed-delete"), st.just(None)),
+    st.tuples(st.just("drop-recreate"), st.just(None)),
+    st.tuples(st.just("empty-commit"), st.just(None)),
+)
+
+
+def fresh_batch(database: Database, table: str) -> list[tuple]:
+    stored = database.table(table)
+    return sorted(
+        (row, multiplicity) for row, multiplicity in stored.items()
+    )
+
+
+def batch_rows(batch: ColumnBatch) -> list[tuple]:
+    rows = batch.row_tuples()
+    return sorted(zip(rows, batch.multiplicities))
+
+
+def assert_caches_fresh(database: Database, table: str) -> None:
+    """Every cached per-version structure equals a from-scratch recompute."""
+    stored = database.table(table)
+    # column_batch: cached pivot vs live rows.
+    assert batch_rows(database.column_batch(table)) == fresh_batch(database, table)
+    for attribute in ATTRIBUTES:
+        index = stored.schema.index_of(attribute)
+        values = [row[index] for row in stored.rows()]
+        cached = database.column_statistics(table, attribute)
+        expected = collect_column_statistics(attribute, values)
+        assert cached == expected, f"stale column_statistics for {attribute}"
+        non_null = sorted(float(v) for v in values if v is not None)
+        if non_null:
+            assert database.equi_depth_ranges(table, attribute, 4) == (
+                equi_depth_boundaries(non_null, 4)
+            ), f"stale equi_depth_ranges for {attribute}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=st.lists(operation_strategy, min_size=1, max_size=12))
+def test_version_caches_never_stale(operations):
+    database = Database()
+    database.create_table("t", COLUMNS, primary_key="id")
+    next_id = 0
+    live_rows: list[tuple] = []
+    pinned_session = None
+    pinned_expectation = None
+
+    # Warm every cache once so the sweep exercises invalidation, not cold fills.
+    database.insert("t", [(next_id, 1, 2.0)])
+    live_rows.append((next_id, 1, 2.0))
+    next_id += 1
+    assert_caches_fresh(database, "t")
+
+    for position, (kind, payload) in enumerate(operations):
+        if kind == "insert":
+            rows = []
+            for a, b in payload:
+                rows.append((next_id, a, b))
+                next_id += 1
+            database.insert("t", rows)
+            live_rows.extend(rows)
+        elif kind == "delete":
+            if live_rows:
+                victim = live_rows.pop(payload % len(live_rows))
+                database.delete_rows("t", [victim])
+        elif kind == "failed-insert":
+            if live_rows:
+                taken_id = live_rows[0][0]
+                clash = (taken_id, *payload)
+                if clash != live_rows[0]:
+                    before = fresh_batch(database, "t")
+                    with pytest.raises(StorageError):
+                        # Second row reuses a held primary key: validation
+                        # must reject the whole batch atomically (rollback).
+                        database.insert("t", [(next_id, 0, 0.0), clash])
+                    assert fresh_batch(database, "t") == before
+        elif kind == "failed-delete":
+            before = fresh_batch(database, "t")
+            with pytest.raises(StorageError):
+                database.delete_rows("t", [(next_id + 10**6, None, None)])
+            assert fresh_batch(database, "t") == before
+        elif kind == "drop-recreate":
+            if pinned_session is not None:
+                pinned_session.close()
+                pinned_session = None
+            database.drop_table("t")
+            database.create_table("t", COLUMNS, primary_key="id")
+            live_rows = []
+        elif kind == "empty-commit":
+            version = database.version
+            assert database.insert("t", []) == version
+
+        # Mid-sequence, pin one session and keep checking it reads its version.
+        if pinned_session is None and kind == "insert":
+            pinned_session = database.connect()
+            pinned_expectation = sorted(
+                pinned_session.query("SELECT id, a, b FROM t").rows()
+            )
+        if pinned_session is not None:
+            assert (
+                sorted(pinned_session.query("SELECT id, a, b FROM t").rows())
+                == pinned_expectation
+            ), f"pinned snapshot drifted after op {position}: {kind}"
+
+        assert_caches_fresh(database, "t")
+
+    if pinned_session is not None:
+        pinned_session.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=6),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_snapshot_batches_match_reconstruction(batches):
+    """Every historical version's snapshot equals an independent replay.
+
+    Materialization order must not matter: version k's batch is compared
+    against a database that stopped at version k, whether the snapshot is
+    materialized before or after later commits land.
+    """
+    database = Database()
+    database.create_table("t", ["id", "v"])
+    replays = [Database() for _ in batches]
+    for replay in replays:
+        replay.create_table("t", ["id", "v"])
+
+    next_id = 0
+    for index, batch in enumerate(batches):
+        rows = []
+        for value in batch:
+            rows.append((next_id, value))
+            next_id += 1
+        database.insert("t", rows)
+        for replay in replays[index:]:
+            replay.insert("t", rows)
+
+    for version, replay in enumerate(replays, start=1):
+        snapshot = database.snapshot_batch("t", version)
+        expected = replay.snapshot_batch("t", replay.version)
+        assert batch_rows(snapshot) == batch_rows(expected)
+        # Bit-identical, not just bag-equal: canonical order is part of the
+        # snapshot contract (float aggregates accumulate in batch order).
+        assert snapshot.row_tuples() == expected.row_tuples()
+        assert snapshot.multiplicities == expected.multiplicities
+
+
+def test_snapshot_canonical_order_is_total_with_nan():
+    """NaN values must not break the canonical order: the rollback and
+    direct materialization paths agree even though NaN defeats sorted()'s
+    comparisons (regression for the order-key NaN flag)."""
+    nan = float("nan")
+    rows = [(1, nan), (2, 1.0), (3, nan), (4, -5.0)]
+
+    direct = Database()
+    direct.create_table("t", ["id", "v"])
+    direct.insert("t", rows)
+    direct_batch = direct.snapshot_batch("t", 1)  # effective == last modified
+
+    replayed = Database()
+    replayed.create_table("t", ["id", "v"])
+    replayed.insert("t", rows)
+    replayed.insert("t", [(5, 2.0)])
+    rolled_batch = replayed.snapshot_batch("t", 1)  # rollback path
+
+    def fingerprint(batch):
+        return [tuple(repr(value) for value in row) for row in batch.row_tuples()]
+
+    assert fingerprint(rolled_batch) == fingerprint(direct_batch)
+    assert rolled_batch.multiplicities == direct_batch.multiplicities
