@@ -42,7 +42,7 @@ from repro.sketch import (
 )
 from repro.sketch.selection import build_database_partition, build_partition
 from repro.sql import parse_select, template_of, translate
-from repro.storage import Database, Delta
+from repro.storage import Database, Delta, RecoveryReport, recover_database
 from repro.workloads import (
     load_crimes,
     load_synthetic,
@@ -73,6 +73,7 @@ __all__ = [
     "NoSketchSystem",
     "ProvenanceSketch",
     "RangePartition",
+    "RecoveryReport",
     "Relation",
     "Schema",
     "build_database_partition",
@@ -92,6 +93,7 @@ __all__ = [
     "q_sketch",
     "q_space",
     "q_topk",
+    "recover_database",
     "template_of",
     "translate",
     "__version__",

@@ -298,22 +298,72 @@ class StatePersistence:
         return sorted(row[0] for row in self.database.table(STATE_TABLE).rows())
 
     def load_maintainer(self, key: str) -> tuple[str, IncrementalMaintainer]:
-        """Rebuild a maintainer (and its engine state) from the backend."""
+        """Rebuild a maintainer (and its engine state) from the backend.
+
+        Every way the stored payload can be bad -- not JSON at all, not a
+        JSON object, missing fields, wrong field shapes -- raises
+        :class:`StateError` naming the key, never a raw ``KeyError`` /
+        ``json.JSONDecodeError``: a persisted row survives process restarts
+        (and, in durable mode, crashes), so by the time it is read back
+        nothing about its producer can be assumed.
+        """
         stored = self.database.table(STATE_TABLE).lookup_by_key(key)
         if stored is None:
             raise StateError(f"no persisted state for key {key!r}")
-        payload = json.loads(stored[1])
-        sql = payload["sql"]
-        partition = _partition_from_payload(payload["partition"])
-        config = IMPConfig(**payload["config"])
+        try:
+            payload = json.loads(stored[1])
+        except (TypeError, json.JSONDecodeError) as exc:
+            raise StateError(
+                f"persisted state for key {key!r} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise StateError(
+                f"persisted state for key {key!r} is not a JSON object "
+                f"(found {type(payload).__name__})"
+            )
+        try:
+            sql = payload["sql"]
+            partition = _partition_from_payload(payload["partition"])
+            config = IMPConfig(**payload["config"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StateError(
+                f"persisted state for key {key!r} is malformed: {exc!r}"
+            ) from exc
         plan = self.database.plan(sql)
         maintainer = IncrementalMaintainer(self.database, plan, partition, config)
-        load_engine_state(maintainer.engine, payload["engine_state"])
-        sketch = ProvenanceSketch(partition, payload["sketch_fragments"])
+        try:
+            load_engine_state(maintainer.engine, payload["engine_state"])
+            sketch = ProvenanceSketch(partition, payload["sketch_fragments"])
+            valid_at_version = int(payload["valid_at_version"])
+        except StateError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StateError(
+                f"persisted state for key {key!r} is malformed: {exc!r}"
+            ) from exc
         maintainer.sketch = sketch
-        maintainer.valid_at_version = payload["valid_at_version"]
-        maintainer.sketch_versions.append((payload["valid_at_version"], sketch))
+        maintainer.valid_at_version = valid_at_version
+        maintainer.sketch_versions.append((valid_at_version, sketch))
         return sql, maintainer
+
+    def load_or_capture(self, key, capture):
+        """Restore ``key``, or fall back to a fresh capture when it is bad.
+
+        ``capture()`` must build the maintainer from scratch (compile, run the
+        capture query) and return ``(sql, maintainer)``.  Returns
+        ``(sql, maintainer, restored)`` where ``restored`` tells whether the
+        persisted state was used.  A corrupt or missing entry is forgotten so
+        the next :meth:`save_maintainer` writes a clean row -- persistence is
+        an optimisation (skip re-capture), so a bad payload degrades to the
+        cost of a capture, never to a crash.
+        """
+        try:
+            sql, maintainer = self.load_maintainer(key)
+            return sql, maintainer, True
+        except StateError:
+            self.forget(key)
+            sql, maintainer = capture()
+            return sql, maintainer, False
 
     def forget(self, key: str) -> None:
         """Drop a persisted entry (no error when absent)."""

@@ -23,11 +23,12 @@ from repro.relational.algebra import PlanNode
 from repro.relational.columnar import ColumnBatch
 from repro.relational.evaluator import Evaluator
 from repro.relational.expressions import compile_expression
-from repro.relational.schema import Relation, Row, Schema, order_component
+from repro.relational.schema import Relation, Row, Schema
 from repro.sql.ast import DeleteStatement, InsertStatement, SelectStatement
 from repro.sql.parser import parse_statement
 from repro.sql.translator import Translator
 from repro.storage.delta import DatabaseDelta, Delta
+from repro.storage.recovery import DurabilityManager, RecoveryReport
 from repro.storage.sessions import Session, SessionRegistry
 from repro.storage.snapshots import AuditLog, AuditRecord
 from repro.storage.statistics import (
@@ -35,40 +36,13 @@ from repro.storage.statistics import (
     collect_column_statistics,
     equi_depth_boundaries,
 )
-from repro.storage.table import StoredTable
+from repro.storage.table import StoredTable, canonical_items
+from repro.storage.wal import FSYNC_ALWAYS, FileFactory
 
-
-def _canonical_component(value: object) -> tuple:
-    """One sort-key component of the canonical snapshot order.
-
-    NaN breaks ``sorted``'s total order (every comparison is False), so it is
-    keyed by an explicit flag at a fixed position instead of by its own
-    comparisons.  Distinct NaN objects necessarily tie -- they are
-    content-indistinguishable -- and keep their insertion order among
-    themselves (``sorted`` is stable).
-    """
-    tag, component = order_component(value)
-    if isinstance(component, float) and component != component:
-        return (tag, 1, 0.0)
-    return (tag, 0, component)
-
-
-def _canonical_items(items: Iterable[tuple[Row, int]]) -> list[tuple[Row, int]]:
-    """Sort ``(row, multiplicity)`` pairs into a content-determined order.
-
-    Snapshot batches are built in this canonical order so that a pinned
-    version's batch is a pure function of the version's *content*, not of
-    when it was materialized: a rollback reconstruction appends undeleted
-    rows at the dict tail, and float aggregates accumulate in batch order, so
-    without canonicalization two materializations of the same version could
-    answer SUM queries with different low bits.  The differential concurrency
-    harness asserts bit-identical snapshot reads across runs; this is what
-    makes that hold.
-    """
-    return sorted(
-        items,
-        key=lambda item: tuple(_canonical_component(value) for value in item[0]),
-    )
+# Canonical snapshot ordering lives in repro.storage.table (shared with the
+# durable checkpoint writer); the old private names are kept as aliases for
+# in-repo callers that imported them.
+_canonical_items = canonical_items
 
 
 class Database:
@@ -84,7 +58,27 @@ class Database:
     read of that version is lock-free.
     """
 
-    def __init__(self, name: str = "imp") -> None:
+    def __init__(
+        self,
+        name: str = "imp",
+        data_dir: str | None = None,
+        fsync: str = FSYNC_ALWAYS,
+        checkpoint_interval: int | None = None,
+        batch_interval: int = 32,
+        files: FileFactory | None = None,
+    ) -> None:
+        """Create an in-memory database, optionally backed by a data directory.
+
+        With the default ``data_dir=None`` nothing touches disk and behavior
+        is exactly as before.  With a directory, every commit and DDL change
+        is appended to a write-ahead log *before* it applies in memory
+        (``fsync`` controls the durability/latency tradeoff: ``"always"``,
+        ``"batch"`` -- every ``batch_interval`` commits -- or ``"off"``), and
+        an existing directory is first recovered: newest valid checkpoint,
+        then WAL tail replay, torn trailing record truncated.
+        ``checkpoint_interval`` commits between automatic checkpoints
+        (``None`` = only explicit :meth:`checkpoint` calls).
+        """
         self.name = name
         self._tables: dict[str, StoredTable] = {}
         self._version = 0
@@ -105,6 +99,21 @@ class Database:
         # (prune_history(prune_audit=True)); sessions may not re-pin below it
         # because those versions can no longer be rematerialized.
         self._audit_floor = 0
+        # Durability: None (the default) keeps the database purely in-memory.
+        # ``_durability`` is assigned only after recovery finishes, so the
+        # _restore_* hooks recovery drives never write back to the WAL.
+        self._durability: DurabilityManager | None = None
+        self._recovery_report: RecoveryReport | None = None
+        if data_dir is not None:
+            manager = DurabilityManager(
+                data_dir,
+                fsync=fsync,
+                batch_interval=batch_interval,
+                checkpoint_interval=checkpoint_interval,
+                files=files,
+            )
+            self._recovery_report = manager.attach(self)
+            self._durability = manager
 
     @property
     def lock(self) -> threading.RLock:
@@ -128,6 +137,10 @@ class Database:
             table = StoredTable(
                 name, columns if isinstance(columns, Schema) else Schema(columns), primary_key
             )
+            # Log-before-apply: a failed WAL append raises here and the
+            # catalog is untouched, so memory never runs ahead of the log.
+            if self._durability is not None:
+                self._durability.log_create_table(name, table.schema, table.primary_key)
             self._tables[name] = table
             return table
 
@@ -145,6 +158,8 @@ class Database:
         with self._lock:
             if name not in self._tables:
                 raise StorageError(f"unknown table {name!r}")
+            if self._durability is not None:
+                self._durability.log_drop_table(name)
             del self._tables[name]
             self._audit_log.forget_table(name)
             self._statistics_cache.clear()
@@ -198,7 +213,11 @@ class Database:
 
     def create_index(self, table: str, attribute: str) -> None:
         """Create an ordered index on ``table.attribute`` (idempotent)."""
-        self.table(table).create_index(attribute)
+        with self._lock:
+            stored = self.table(table)
+            if self._durability is not None and not stored.has_index(attribute):
+                self._durability.log_create_index(stored.name, attribute)
+            stored.create_index(attribute)
 
     def has_index(self, table: str, attribute: str) -> bool:
         """Whether ``table.attribute`` carries an ordered index."""
@@ -410,6 +429,12 @@ class Database:
             # table contents diverged from the audit log.
             for table, delta in deltas.items():
                 self._validate_delta(self.table(table), delta)
+            # Write-ahead: the commit record must be in the log before any
+            # in-memory effect.  A failed append (disk full, I/O error) raises
+            # StorageError here, the commit is cleanly aborted, and the WAL has
+            # rolled itself back to the previous record boundary.
+            if self._durability is not None:
+                self._durability.log_commit(self._version + 1, deltas)
             for table, delta in deltas.items():
                 self.table(table).apply_delta(delta)
             self._version += 1
@@ -417,7 +442,92 @@ class Database:
                 self.table(table).record_modified(self._version)
             self._audit_log.append(AuditRecord(self._version, dict(deltas)))
             self._statistics_cache.clear()
+            if self._durability is not None and self._durability.auto_checkpoint_due():
+                try:
+                    self._durability.checkpoint(self)
+                except StorageError:
+                    # The commit itself is durable and applied; a failed
+                    # *automatic* checkpoint must not turn it into an error.
+                    # The interval counter was not reset, so the next commit
+                    # retries (the failure stays visible on
+                    # ``self._durability.last_checkpoint_error``).
+                    pass
             return self._version
+
+    # -- durability -----------------------------------------------------------------------
+
+    @property
+    def is_durable(self) -> bool:
+        """Whether this database is backed by a data directory."""
+        return self._durability is not None
+
+    @property
+    def data_dir(self) -> str | None:
+        """The backing data directory (``None`` for in-memory databases)."""
+        return self._durability.data_dir if self._durability is not None else None
+
+    @property
+    def recovery_report(self) -> RecoveryReport | None:
+        """What recovery found when this database opened its data directory."""
+        return self._recovery_report
+
+    @property
+    def last_checkpoint_version(self) -> int:
+        """Version of the last durable checkpoint (0 when none exists)."""
+        return self._durability.checkpoint_version if self._durability is not None else 0
+
+    def checkpoint(self) -> str:
+        """Write a full durable snapshot now; returns the checkpoint path.
+
+        Rotates the WAL, so recovery time stops growing with history length;
+        also establishes the new retention floor audit pruning respects.
+        """
+        if self._durability is None:
+            raise StorageError("checkpoint requires a durable database (pass data_dir)")
+        with self._lock:
+            return self._durability.checkpoint(self)
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log (no-op for in-memory databases).
+
+        The data directory remains recoverable whether or not this is called;
+        closing only releases the file handle and flushes ``fsync="batch"``
+        tails.
+        """
+        with self._lock:
+            if self._durability is not None:
+                self._durability.close()
+
+    # Restore hooks -- driven only by DurabilityManager.attach() during
+    # recovery, before ``_durability`` is assigned, so nothing here writes
+    # back to the WAL.
+
+    def _restore_table(self, stored: StoredTable) -> None:
+        self._tables[stored.name] = stored
+
+    def _restore_drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise StorageError(f"WAL replays DROP of unknown table {name!r}")
+        del self._tables[name]
+        self._audit_log.forget_table(name)
+
+    def _restore_version(self, version: int) -> None:
+        # The checkpoint is the oldest state recovery can reconstruct: audit
+        # records at or below its version exist only in rotated-away WAL
+        # segments, so delta reads reaching below it must fail loudly.
+        self._version = version
+        self._audit_floor = version
+
+    def _restore_commit(self, version: int, deltas: dict[str, Delta]) -> None:
+        for table, delta in deltas.items():
+            self.table(table).apply_delta(delta)
+        self._version = version
+        for table in deltas:
+            self.table(table).record_modified(version)
+        # Reseeding the audit log makes replayed history first-class: sessions
+        # can pin and roll back to any replayed version, and incremental
+        # maintainers resume delta extraction across the crash.
+        self._audit_log.append(AuditRecord(version, dict(deltas)))
 
     # -- query evaluation -----------------------------------------------------------------
 
@@ -628,6 +738,12 @@ class Database:
         safe to drop.  Audit records at or below the floor are only dropped on
         request (``prune_audit=True``), because incremental sketch maintainers
         may still need deltas older than any session pin.
+
+        Durable databases additionally clamp the audit prune floor to the
+        last checkpoint version: the in-memory audit tail must stay at least
+        as long as the on-disk WAL tail, or a crash right after pruning would
+        recover commits the live process had already forgotten.  Run
+        :meth:`checkpoint` first to advance that floor.
         """
         with self._lock:
             floor = self._sessions.oldest_pinned()
@@ -640,7 +756,16 @@ class Database:
                 )
             dropped_records = 0
             if prune_audit:
-                dropped_records = self._audit_log.prune_before(floor)
+                protect_after = (
+                    self._durability.checkpoint_version
+                    if self._durability is not None
+                    else None
+                )
+                dropped_records = self._audit_log.prune_before(
+                    floor, protect_after=protect_after
+                )
+                if protect_after is not None:
+                    floor = min(floor, protect_after)
                 self._audit_floor = max(self._audit_floor, floor)
             return {
                 "floor": floor,

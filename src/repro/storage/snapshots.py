@@ -145,12 +145,19 @@ class AuditLog:
         self._table_versions.pop(table, None)
         self._table_deltas.pop(table, None)
 
-    def prune_before(self, version: int) -> int:
+    def prune_before(self, version: int, protect_after: int | None = None) -> int:
         """Drop records with ``version <= version``; return how many were dropped.
 
         Mirrors the backend reclaiming audit history once every sketch has been
-        maintained past that point.
+        maintained past that point.  ``protect_after`` clamps the prune floor:
+        records *newer* than it are kept regardless of ``version``.  Durable
+        databases pass their last checkpoint version here -- the in-memory
+        audit tail must never become shorter than the on-disk WAL tail, or a
+        crash immediately after pruning would recover commits the running
+        process had already forgotten (recovered state ≠ pre-crash state).
         """
+        if protect_after is not None:
+            version = min(version, protect_after)
         keep_from = bisect.bisect_right(self._versions, version)
         dropped = keep_from
         if dropped:

@@ -14,8 +14,41 @@ from collections.abc import Callable, Iterable, Iterator
 from repro.core.errors import SchemaError, StorageError
 from repro.relational.columnar import ColumnBatch
 from repro.relational.predicates import Interval
-from repro.relational.schema import Relation, Row, Schema
+from repro.relational.schema import Relation, Row, Schema, order_component
 from repro.storage.delta import Delta
+
+
+def canonical_component(value: object) -> tuple:
+    """One sort-key component of the canonical snapshot order.
+
+    NaN breaks ``sorted``'s total order (every comparison is False), so it is
+    keyed by an explicit flag at a fixed position instead of by its own
+    comparisons.  Distinct NaN objects necessarily tie -- they are
+    content-indistinguishable -- and keep their insertion order among
+    themselves (``sorted`` is stable).
+    """
+    tag, component = order_component(value)
+    if isinstance(component, float) and component != component:
+        return (tag, 1, 0.0)
+    return (tag, 0, component)
+
+
+def canonical_items(items: Iterable[tuple[Row, int]]) -> list[tuple[Row, int]]:
+    """Sort ``(row, multiplicity)`` pairs into a content-determined order.
+
+    Snapshot batches -- and durable checkpoints -- are built in this
+    canonical order so they are a pure function of the *content* of a
+    version, not of the insertion history that produced it: float aggregates
+    accumulate in batch order, so without canonicalization two
+    materializations of the same version could answer SUM queries with
+    different low bits.  The differential concurrency harness and the
+    crash-recovery harness both assert bit-identical reads; this is what
+    makes that hold.
+    """
+    return sorted(
+        items,
+        key=lambda item: tuple(canonical_component(value) for value in item[0]),
+    )
 
 
 class AttributeIndex:

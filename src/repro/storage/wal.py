@@ -1,0 +1,427 @@
+"""Write-ahead logging for the durable backend.
+
+Everything the in-memory :class:`~repro.storage.database.Database` does is
+lost with the process -- a non-starter for the production north star.  The
+durability layer fixes that with the classic recipe: every committed update
+(and every DDL statement) is appended to a write-ahead log *before* it is
+applied in memory, so a crash at any instant leaves the log holding a prefix
+of the commit history; recovery replays that prefix on top of the latest
+checkpoint (:mod:`repro.storage.recovery`) and lands on a state bit-identical
+to replaying the audit log serially.
+
+On-disk format
+--------------
+
+A WAL file starts with a fixed magic string and is followed by framed
+records::
+
+    REPROWAL1\\n | <len u32 BE> <crc32 u32 BE> <payload: len bytes> | ...
+
+The payload is canonical JSON (sorted keys, no whitespace) so a record's
+bytes -- and therefore its CRC -- are a pure function of its content.  The
+CRC covers the payload only; the length prefix is validated implicitly
+(a torn or garbled length makes the frame run past the end of the file or
+the CRC fail).  Reading stops at the first frame that does not check out:
+everything before it is the durable prefix, everything after it is a *torn
+tail* produced by a crash mid-append (or by junk) and is truncated when the
+log is opened for writing.
+
+Fsync policy
+------------
+
+``always``
+    fsync after every append: an acknowledged commit survives both a process
+    kill and an OS crash.  Slowest (one device round trip per commit).
+``batch``
+    fsync every ``batch_interval`` appends (and on rotate/close): bounded
+    work per commit, but the unsynced window can be lost on an *OS* crash
+    (a plain process kill loses nothing -- writes go straight to the page
+    cache because the file is opened unbuffered).
+``off``
+    never fsync: fastest, survives process kills only.
+
+All file I/O goes through an injectable :class:`FileFactory`, which is how
+the fault-injection harness (:mod:`repro.storage.faults`) simulates
+kill-at-random-byte, torn writes, fsync failure and ENOSPC at every point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.errors import StorageError
+
+WAL_MAGIC = b"REPROWAL1\n"
+"""File signature of a write-ahead log."""
+
+FSYNC_ALWAYS = "always"
+FSYNC_BATCH = "batch"
+FSYNC_OFF = "off"
+FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_OFF)
+
+_FRAME_HEADER = struct.Struct(">II")  # payload length, CRC32(payload)
+
+
+# ---------------------------------------------------------------------------
+# File access (the injectable I/O surface)
+# ---------------------------------------------------------------------------
+
+class OsFile:
+    """A thin unbuffered file wrapper exposing exactly the ops the WAL needs.
+
+    The file is opened with ``buffering=0`` so every :meth:`write` goes
+    straight to the OS page cache: a process kill after a write loses
+    nothing, which is the real-world behaviour the fault harness's
+    kill-at-random-byte simulation relies on (only an OS crash can lose
+    unsynced page-cache data, and that is what :meth:`sync` is for).
+    """
+
+    def __init__(self, raw) -> None:
+        self._raw = raw
+
+    def write(self, data: bytes) -> int:
+        return self._raw.write(data)
+
+    def flush(self) -> None:  # unbuffered: nothing to flush, kept for symmetry
+        pass
+
+    def sync(self) -> None:
+        os.fsync(self._raw.fileno())
+
+    def truncate(self, size: int) -> None:
+        self._raw.truncate(size)
+
+    def seek(self, offset: int) -> None:
+        self._raw.seek(offset)
+
+    def tell(self) -> int:
+        return self._raw.tell()
+
+    def close(self) -> None:
+        self._raw.close()
+
+
+class FileFactory:
+    """Creates files and performs directory-level operations.
+
+    The durability layer never calls ``open``/``os.replace``/``os.remove``
+    directly; it goes through one of these, so a test can swap in
+    :class:`~repro.storage.faults.FaultyFileFactory` and observe or sabotage
+    every single I/O point.
+    """
+
+    def open(self, path: str) -> OsFile:
+        """Open ``path`` for read/write, creating it when missing."""
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        return OsFile(open(path, mode, buffering=0))
+
+    def replace(self, source: str, destination: str) -> None:
+        """Atomically move ``source`` over ``destination``."""
+        os.replace(source, destination)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def sync_dir(self, path: str) -> None:
+        """fsync a directory so a rename within it is durable."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Record framing and payload encoding
+# ---------------------------------------------------------------------------
+
+def encode_record(record: dict) -> bytes:
+    """Serialize a record dict into canonical JSON bytes.
+
+    Sorted keys and compact separators make the byte representation (and the
+    CRC) a pure function of the record's content; row values must be
+    JSON-representable scalars, which everything stored by the engine is.
+    """
+    try:
+        return json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise StorageError(f"WAL record is not serializable: {exc}") from exc
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap payload bytes in a length + CRC32 frame."""
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_rows(items) -> list:
+    """``(row, multiplicity)`` pairs as JSON-friendly nested lists."""
+    return [[list(row), multiplicity] for row, multiplicity in items]
+
+
+def decode_rows(payload) -> list:
+    """Inverse of :func:`encode_rows` (tuples restored)."""
+    return [(tuple(row), int(multiplicity)) for row, multiplicity in payload]
+
+
+def encode_delta(delta) -> dict:
+    """A :class:`~repro.storage.delta.Delta` as a JSON-friendly payload.
+
+    Insert/delete entries are emitted in the delta's own dict order, so a
+    decoded delta iterates its rows in exactly the order the original did --
+    the incremental operators are fed identical streams before and after a
+    round trip through the log.
+    """
+    return {
+        "inserts": encode_rows(delta.inserts()),
+        "deletes": encode_rows(delta.deletes()),
+    }
+
+
+def decode_delta(payload: dict, schema):
+    """Rebuild a :class:`~repro.storage.delta.Delta` from its payload."""
+    from repro.storage.delta import Delta
+
+    delta = Delta(schema)
+    for row, multiplicity in decode_rows(payload["inserts"]):
+        delta.add_insert(row, multiplicity)
+    for row, multiplicity in decode_rows(payload["deletes"]):
+        delta.add_delete(row, multiplicity)
+    return delta
+
+
+@dataclass
+class WalScan:
+    """Result of reading a WAL file: the durable prefix and the torn tail."""
+
+    records: list = field(default_factory=list)
+    valid_bytes: int = 0
+    torn_bytes: int = 0
+    existed: bool = False
+    notes: list = field(default_factory=list)
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest valid record (-1 for an empty log)."""
+        return self.records[-1]["lsn"] if self.records else -1
+
+
+def scan_wal(path: str) -> WalScan:
+    """Read every valid record of a WAL file and locate the torn tail.
+
+    The scan never mutates the file.  It raises :class:`StorageError` only
+    when the file cannot be a WAL at all (its head is not the magic string);
+    every tail problem -- a half-written frame, a CRC mismatch, trailing
+    garbage, even a frame whose payload is not valid JSON -- marks the torn
+    boundary instead, because that is exactly what a crash mid-append leaves
+    behind and recovery's contract is to keep the prefix and drop the tear.
+    """
+    scan = WalScan()
+    if not os.path.exists(path):
+        return scan
+    scan.existed = True
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data:
+        return scan
+    if not data.startswith(WAL_MAGIC):
+        if WAL_MAGIC.startswith(data):
+            # A crash during the very first write tore the magic itself; the
+            # log never held a record, so it is equivalent to a fresh file.
+            scan.torn_bytes = len(data)
+            scan.notes.append("torn file signature (no records were ever durable)")
+            return scan
+        raise StorageError(f"{path!r} is not a repro write-ahead log")
+    offset = len(WAL_MAGIC)
+    scan.valid_bytes = offset
+    previous_lsn = -1
+    while offset < len(data):
+        header_end = offset + _FRAME_HEADER.size
+        if header_end > len(data):
+            scan.notes.append("torn frame header")
+            break
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        payload_end = header_end + length
+        if payload_end > len(data):
+            scan.notes.append("torn record payload")
+            break
+        payload = data[header_end:payload_end]
+        if zlib.crc32(payload) != crc:
+            scan.notes.append("record checksum mismatch")
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            scan.notes.append("record payload is not valid JSON")
+            break
+        if not isinstance(record, dict) or not isinstance(record.get("lsn"), int):
+            scan.notes.append("record is missing its LSN")
+            break
+        if record["lsn"] <= previous_lsn:
+            scan.notes.append("record LSN is not increasing")
+            break
+        previous_lsn = record["lsn"]
+        scan.records.append(record)
+        offset = payload_end
+        scan.valid_bytes = offset
+    scan.torn_bytes = len(data) - scan.valid_bytes
+    return scan
+
+
+# ---------------------------------------------------------------------------
+# The live appender
+# ---------------------------------------------------------------------------
+
+class WriteAheadLog:
+    """Appender over a single WAL file with a configurable fsync policy.
+
+    Usage: :meth:`open` scans the existing file (returning the valid records
+    for replay), truncates any torn tail, and positions the file for
+    appending; :meth:`append` then frames one record per call.  Record LSNs
+    are monotonically increasing across the whole life of the data directory
+    -- they are never reset, not even by :meth:`rotate` -- which is what lets
+    checkpoints name the exact prefix of the log they already contain.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: str = FSYNC_ALWAYS,
+        batch_interval: int = 32,
+        files: FileFactory | None = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise StorageError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        if batch_interval <= 0:
+            raise StorageError("batch_interval must be positive")
+        self.path = path
+        self.fsync_policy = fsync
+        self.batch_interval = batch_interval
+        self._files = files or FileFactory()
+        self._file: OsFile | None = None
+        self._end = 0
+        self._next_lsn = 0
+        self._unsynced = 0
+        self._failed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def open(self) -> WalScan:
+        """Scan, repair (truncate the torn tail) and open the log for appends."""
+        scan = scan_wal(self.path)
+        self._file = self._files.open(self.path)
+        if scan.torn_bytes or not scan.existed or scan.valid_bytes < len(WAL_MAGIC):
+            base = scan.valid_bytes if scan.valid_bytes >= len(WAL_MAGIC) else 0
+            self._file.truncate(base)
+            self._file.seek(base)
+            if base == 0:
+                self._file.write(WAL_MAGIC)
+                base = len(WAL_MAGIC)
+            if self.fsync_policy != FSYNC_OFF:
+                self._file.sync()
+            self._end = base
+        else:
+            self._file.seek(scan.valid_bytes)
+            self._end = scan.valid_bytes
+        self._next_lsn = scan.last_lsn + 1
+        return scan
+
+    def close(self) -> None:
+        """Sync (unless the policy is ``off``) and close the file."""
+        if self._file is None:
+            return
+        try:
+            if not self._failed and self.fsync_policy != FSYNC_OFF:
+                self._file.sync()
+        finally:
+            self._file.close()
+            self._file = None
+
+    # -- appends -----------------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest appended record (-1 when the log is empty)."""
+        return self._next_lsn - 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Current length of the durable prefix in bytes."""
+        return self._end
+
+    def append(self, record: dict) -> int:
+        """Frame and append one record; returns its LSN.
+
+        The record only counts as appended when the whole frame is written
+        (and synced, under the ``always`` policy).  On an I/O error the
+        append is rolled back by truncating the file to its pre-append
+        length, so a failed commit leaves no half-record behind; when even
+        the rollback fails the log enters a failed state and every further
+        append raises until the database is reopened through recovery.
+        """
+        if self._file is None:
+            raise StorageError(f"write-ahead log {self.path!r} is not open")
+        if self._failed:
+            raise StorageError(
+                f"write-ahead log {self.path!r} is in a failed state after an "
+                "unrecoverable I/O error; reopen the database to recover"
+            )
+        stamped = dict(record)
+        stamped["lsn"] = self._next_lsn
+        data = frame(encode_record(stamped))
+        try:
+            self._file.write(data)
+            self._unsynced += 1
+            if self.fsync_policy == FSYNC_ALWAYS or (
+                self.fsync_policy == FSYNC_BATCH and self._unsynced >= self.batch_interval
+            ):
+                self.sync()
+        except OSError as exc:
+            self._rollback_to(self._end)
+            raise StorageError(
+                f"write-ahead log append failed ({exc}); commit aborted"
+            ) from exc
+        self._end += len(data)
+        self._next_lsn += 1
+        return stamped["lsn"]
+
+    def sync(self) -> None:
+        """Force appended records to stable storage (policy permitting)."""
+        if self._file is not None and self.fsync_policy != FSYNC_OFF:
+            self._file.sync()
+        self._unsynced = 0
+
+    def _rollback_to(self, offset: int) -> None:
+        """Best-effort removal of a partially appended record."""
+        try:
+            self._file.truncate(offset)
+            self._file.seek(offset)
+        except OSError:
+            # The log now ends in a torn record we cannot remove; scanning on
+            # the next open will truncate it, but this handle must not keep
+            # appending after the tear.
+            self._failed = True
+
+    # -- rotation ----------------------------------------------------------------
+
+    def rotate(self) -> None:
+        """Drop every record (after a checkpoint made them redundant).
+
+        LSNs keep increasing: a checkpoint records the last LSN it covers and
+        recovery skips records at or below it, so a crash *between* writing a
+        checkpoint and rotating the log merely replays some no-op prefix.
+        """
+        if self._file is None:
+            raise StorageError(f"write-ahead log {self.path!r} is not open")
+        base = len(WAL_MAGIC)
+        self._file.truncate(base)
+        self._file.seek(base)
+        if self.fsync_policy != FSYNC_OFF:
+            self._file.sync()
+        self._end = base
+        self._unsynced = 0

@@ -7,6 +7,7 @@ representation preserves maintenance correctness: a restored engine continues
 to produce sketches identical to those of an engine that never left memory.
 """
 
+import json
 import random
 
 import pytest
@@ -191,6 +192,94 @@ class TestBackendPersistence:
         persistence = StatePersistence(database)
         with pytest.raises(StateError):
             persistence.save_maintainer("x", sql, maintainer)
+
+
+class TestCorruptPayloads:
+    """A persisted row survives restarts and crashes; by the time it is read
+    back nothing about its producer can be assumed.  Every corruption must
+    surface as a StateError naming the key -- never a raw KeyError or
+    JSONDecodeError -- and load_or_capture must degrade to a fresh capture."""
+
+    def _overwrite(self, database, key, raw_payload):
+        table = database.table(STATE_TABLE)
+        existing = table.lookup_by_key(key)
+        if existing is not None:
+            database.delete_rows(STATE_TABLE, [existing])
+        database.insert(STATE_TABLE, [(key, raw_payload)])
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "this is not json {",
+            "[1, 2, 3]",  # JSON, but not an object
+            "{}",  # object, but every field missing
+            '{"sql": "SELECT a FROM r", "partition": "nope"}',  # wrong shapes
+            '{"sql": "SELECT a FROM r", "partition": [], "config": {"bogus_knob": 1}}',
+        ],
+    )
+    def test_corrupt_payload_raises_state_error_with_context(self, loaded_db, raw):
+        database, _table = loaded_db
+        persistence = StatePersistence(database)
+        self._overwrite(database, "bad", raw)
+        with pytest.raises(StateError, match="'bad'"):
+            persistence.load_maintainer("bad")
+
+    def test_wrong_operator_count_is_a_state_error(self, loaded_db):
+        database, _table = loaded_db
+        sql = q_groups(threshold=900)
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 16)
+        maintainer = IncrementalMaintainer(database, plan, partition)
+        maintainer.capture()
+        persistence = StatePersistence(database)
+        persistence.save_maintainer("trimmed", sql, maintainer)
+        payload = json.loads(database.table(STATE_TABLE).lookup_by_key("trimmed")[1])
+        payload["engine_state"]["operators"] = payload["engine_state"]["operators"][:-1]
+        self._overwrite(database, "trimmed", json.dumps(payload))
+        with pytest.raises(StateError, match="operator"):
+            persistence.load_maintainer("trimmed")
+
+    def test_load_or_capture_restores_a_good_entry(self, loaded_db):
+        database, _table = loaded_db
+        sql = q_groups(threshold=900)
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 16)
+        maintainer = IncrementalMaintainer(database, plan, partition)
+        maintainer.capture()
+        persistence = StatePersistence(database)
+        persistence.save_maintainer("good", sql, maintainer)
+
+        def never_called():
+            raise AssertionError("capture fallback must not run for a good entry")
+
+        restored_sql, restored, was_restored = persistence.load_or_capture(
+            "good", never_called
+        )
+        assert was_restored and restored_sql == sql
+        assert restored.is_captured
+
+    def test_load_or_capture_falls_back_and_forgets_a_bad_entry(self, loaded_db):
+        database, _table = loaded_db
+        sql = q_groups(threshold=900)
+        plan = database.plan(sql)
+        partition = build_database_partition(database, plan, 16)
+        persistence = StatePersistence(database)
+        self._overwrite(database, "bad", "{corrupt")
+
+        def capture():
+            maintainer = IncrementalMaintainer(database, plan, partition)
+            maintainer.capture()
+            return sql, maintainer
+
+        restored_sql, restored, was_restored = persistence.load_or_capture(
+            "bad", capture
+        )
+        assert not was_restored and restored_sql == sql
+        assert restored.is_captured
+        # The corrupt row was dropped, so the next save starts clean.
+        assert persistence.saved_keys() == []
+        persistence.save_maintainer("bad", sql, restored)
+        assert persistence.load_maintainer("bad")[0] == sql
 
 
 class TestEvictionWorkflow:
